@@ -1,0 +1,84 @@
+// E8 — reproduces Theorem 3.8: additive-eps Shannon entropy estimation
+// with few state changes, via [HNO08] moment interpolation.
+//
+// We sweep distribution skew (uniform permutation has entropy log2 n;
+// heavy skew drives entropy toward 0) and report the additive error of
+// the interpolation estimator and its state-change count.
+
+#include <cinttypes>
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/entropy_estimator.h"
+#include "stream/generators.h"
+#include "stream/stream_stats.h"
+
+using namespace fewstate;
+
+int main() {
+  bench::Banner("E8 bench_entropy", "Theorem 3.8 (entropy)",
+                "additive-eps entropy with Otilde(sqrt(n)/eps^{O(1)}) state "
+                "changes");
+
+  const uint64_t n = 5000;
+  const uint64_t m = 50000;
+
+  struct Workload {
+    const char* name;
+    Stream stream;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"uniform", UniformStream(n, m, 81)});
+  workloads.push_back({"zipf(0.8)", ZipfStream(n, 0.8, m, 82)});
+  workloads.push_back({"zipf(1.2)", ZipfStream(n, 1.2, m, 83)});
+  workloads.push_back({"zipf(2.0)", ZipfStream(n, 2.0, m, 84)});
+  {
+    // Near-degenerate: one item carries 90% of the stream.
+    std::vector<uint64_t> freqs(n, 0);
+    freqs[0] = (9 * m) / 10;
+    for (uint64_t j = 1; j <= m / 10; ++j) freqs[j % n] += 1;
+    workloads.push_back({"degenerate", StreamFromFrequencies(freqs, 85)});
+  }
+
+  std::printf("%-12s %10s %10s %10s %14s %8s\n", "workload", "exact_H",
+              "estimate", "add_err", "state_changes", "chg/m");
+
+  for (const Workload& w : workloads) {
+    const StreamStats oracle(w.stream);
+    const double exact = oracle.ShannonEntropy();
+
+    EntropyEstimatorOptions options;
+    options.universe = n;
+    options.stream_length_hint = m;
+    options.eps = 0.3;
+    options.seed = 19;
+    EntropyEstimator alg(options);
+    alg.Consume(w.stream);
+    const double est = alg.EstimateEntropy();
+    std::printf("%-12s %10.3f %10.3f %10.3f %14" PRIu64 " %8.4f\n", w.name,
+                exact, est, std::fabs(est - exact),
+                alg.accountant().state_changes(),
+                static_cast<double>(alg.accountant().state_changes()) /
+                    static_cast<double>(m));
+  }
+  bench::Section("write scaling (chg/m falls as m grows; Theorem 3.8 is "
+                 "asymptotic in m)");
+  std::printf("%-10s %14s %8s\n", "m", "state_changes", "chg/m");
+  for (uint64_t len : {50000ULL, 200000ULL, 800000ULL}) {
+    EntropyEstimatorOptions options;
+    options.universe = n;
+    options.stream_length_hint = len;
+    options.eps = 0.3;
+    options.seed = 20;
+    options.rows = 12;      // writes scale with rows; accuracy is not the
+    options.morris_a = 2e-2;  // object of this sweep
+    EntropyEstimator alg(options);
+    alg.Consume(ZipfStream(n, 1.2, len, 21));
+    const uint64_t chg = alg.accountant().state_changes();
+    std::printf("%-10" PRIu64 " %14" PRIu64 " %8.4f\n", len, chg,
+                static_cast<double>(chg) / static_cast<double>(len));
+  }
+  std::printf("\nreading: additive error stays O(eps)-scale across skews; "
+              "the write ratio decays toward the polylog regime\n");
+  return 0;
+}

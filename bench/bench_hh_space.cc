@@ -1,0 +1,48 @@
+// E3 — reproduces Theorem 1.1's space bound: polylog words for
+// p in [1, 2], Otilde(n^{1-2/p}) words for p > 2.
+//
+// We sweep n and report the accountant's peak allocated words; for
+// p <= 2 the peak should be flat in n, while for p > 2 the fitted
+// log-log slope should approach 1 - 2/p (0.2 for p=2.5, 0.33 for p=3,
+// 0.5 for p=4).
+
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "core/sample_and_hold.h"
+#include "stream/generators.h"
+
+using namespace fewstate;
+
+int main() {
+  bench::Banner("E3 bench_hh_space", "Theorem 1.1 (space)",
+                "polylog words for p in [1,2]; Otilde(n^{1-2/p}) for p > 2");
+
+  std::printf("%-6s %10s %12s %12s\n", "p", "n", "peak_words", "words/n");
+
+  for (double p : {1.5, 2.0, 2.5, 3.0, 4.0}) {
+    std::vector<double> xs, ys;
+    for (uint64_t n : {10000ULL, 40000ULL, 160000ULL, 640000ULL}) {
+      const uint64_t m = 4 * n;
+      SampleAndHoldOptions options;
+      options.universe = n;
+      options.stream_length_hint = m;
+      options.p = p;
+      options.eps = 0.4;
+      options.seed = 31 + n;
+      SampleAndHold alg(options);
+      alg.Consume(ZipfStream(n, 1.2, m, /*seed=*/n + 9));
+      const uint64_t peak = alg.accountant().peak_allocated_words();
+      std::printf("%-6.1f %10" PRIu64 " %12" PRIu64 " %12.5f\n", p, n, peak,
+                  static_cast<double>(peak) / static_cast<double>(n));
+      xs.push_back(static_cast<double>(n));
+      ys.push_back(static_cast<double>(peak));
+    }
+    const double theory = p > 2.0 ? 1.0 - 2.0 / p : 0.0;
+    std::printf("  fitted exponent: %.3f   (theory %s = %.3f)\n\n",
+                FitLogLogSlope(xs, ys),
+                p > 2.0 ? "1 - 2/p" : "polylog, slope", theory);
+  }
+  return 0;
+}

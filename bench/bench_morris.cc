@@ -1,0 +1,51 @@
+// E6 — reproduces Theorem 1.5 (Morris counters): a (1+eps)-approximate
+// counter whose state changes grow as O(log(a n)/a) — exponentially slower
+// than the count — with relative error ~ sqrt(a/2).
+//
+// For each growth parameter a we push N increments through a pool of
+// counters and report the mean relative error and mean number of level
+// advances (== tracked state changes). a = 0 is the exact counter (one
+// change per increment).
+
+#include <cinttypes>
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "counters/morris_counter.h"
+#include "state/state_accountant.h"
+
+using namespace fewstate;
+
+int main() {
+  bench::Banner("E6 bench_morris", "Theorem 1.5 (Morris counters)",
+                "(1+eps)-approx counting with poly(log n, 1/eps) state changes");
+
+  std::printf("%-10s %10s %14s %12s %14s\n", "a", "count_N", "mean_rel_err",
+              "mean_changes", "changes/N");
+
+  const int kCounters = 32;
+  for (double a : {0.0, 0.001, 0.01, 0.1, 0.5}) {
+    for (uint64_t N : {1000ULL, 10000ULL, 100000ULL, 1000000ULL}) {
+      StateAccountant accountant;
+      Rng rng(9000 + static_cast<uint64_t>(a * 1e6) + N);
+      double err_sum = 0.0;
+      uint64_t change_sum = 0;
+      for (int c = 0; c < kCounters; ++c) {
+        MorrisCounter counter(&accountant, &rng, a);
+        for (uint64_t i = 0; i < N; ++i) counter.Increment();
+        err_sum += std::fabs(counter.Estimate() - static_cast<double>(N)) /
+                   static_cast<double>(N);
+        change_sum += counter.level_changes();
+      }
+      const double mean_changes =
+          static_cast<double>(change_sum) / kCounters;
+      std::printf("%-10.3f %10" PRIu64 " %14.4f %12.1f %14.6f\n", a, N,
+                  err_sum / kCounters, mean_changes,
+                  mean_changes / static_cast<double>(N));
+    }
+    std::printf("\n");
+  }
+  std::printf("reading: error ~ sqrt(a/2); changes ~ log(1+aN)/a << N\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E11 — update-time sanity check (google-benchmark): ns/update of every
+// streaming structure in the library. The paper's metric is memory
+// writes, not CPU time, but a reproduction should confirm the frugal
+// structures are not pathologically slow per update.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/ams_sketch.h"
+#include "baselines/count_min.h"
+#include "baselines/count_sketch.h"
+#include "baselines/misra_gries.h"
+#include "baselines/space_saving.h"
+#include "baselines/stable_sketch.h"
+#include "core/fp_estimator.h"
+#include "core/full_sample_and_hold.h"
+#include "core/sample_and_hold.h"
+#include "counters/morris_counter.h"
+#include "stream/generators.h"
+
+namespace fewstate {
+namespace {
+
+constexpr uint64_t kUniverse = 10000;
+constexpr uint64_t kLength = 50000;
+
+const Stream& SharedStream() {
+  static const Stream stream = ZipfStream(kUniverse, 1.2, kLength, 12345);
+  return stream;
+}
+
+template <typename Alg>
+void DriveStream(benchmark::State& state, Alg& alg) {
+  const Stream& stream = SharedStream();
+  size_t i = 0;
+  for (auto _ : state) {
+    alg.Update(stream[i]);
+    if (++i == stream.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MorrisCounterIncrement(benchmark::State& state) {
+  StateAccountant accountant;
+  Rng rng(1);
+  MorrisCounter counter(&accountant, &rng, 0.01);
+  for (auto _ : state) counter.Increment();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MorrisCounterIncrement);
+
+void BM_MisraGries(benchmark::State& state) {
+  MisraGries alg(1000);
+  DriveStream(state, alg);
+}
+BENCHMARK(BM_MisraGries);
+
+void BM_CountMin(benchmark::State& state) {
+  CountMin alg(4, 2048, 7);
+  DriveStream(state, alg);
+}
+BENCHMARK(BM_CountMin);
+
+void BM_CountSketch(benchmark::State& state) {
+  CountSketch alg(4, 2048, 7);
+  DriveStream(state, alg);
+}
+BENCHMARK(BM_CountSketch);
+
+void BM_SpaceSaving(benchmark::State& state) {
+  SpaceSaving alg(1000);
+  DriveStream(state, alg);
+}
+BENCHMARK(BM_SpaceSaving);
+
+void BM_AmsSketch(benchmark::State& state) {
+  AmsSketch alg(5, 16, 7);
+  DriveStream(state, alg);
+}
+BENCHMARK(BM_AmsSketch);
+
+void BM_StableSketchExact(benchmark::State& state) {
+  StableSketch alg(0.5, 50, 7, StableSketch::CounterMode::kExact);
+  DriveStream(state, alg);
+}
+BENCHMARK(BM_StableSketchExact);
+
+void BM_StableSketchMorris(benchmark::State& state) {
+  StableSketch alg(0.5, 50, 7, StableSketch::CounterMode::kMorris, 1e-3);
+  DriveStream(state, alg);
+}
+BENCHMARK(BM_StableSketchMorris);
+
+void BM_SampleAndHold(benchmark::State& state) {
+  SampleAndHoldOptions options;
+  options.universe = kUniverse;
+  options.stream_length_hint = kLength;
+  options.p = 2.0;
+  options.eps = 0.3;
+  options.seed = 7;
+  SampleAndHold alg(options);
+  DriveStream(state, alg);
+}
+BENCHMARK(BM_SampleAndHold);
+
+void BM_FullSampleAndHold(benchmark::State& state) {
+  FullSampleAndHoldOptions options;
+  options.universe = kUniverse;
+  options.stream_length_hint = kLength;
+  options.p = 2.0;
+  options.eps = 0.3;
+  options.seed = 7;
+  FullSampleAndHold alg(options);
+  DriveStream(state, alg);
+}
+BENCHMARK(BM_FullSampleAndHold);
+
+void BM_FpEstimator(benchmark::State& state) {
+  FpEstimatorOptions options;
+  options.universe = kUniverse;
+  options.stream_length_hint = kLength;
+  options.p = 2.0;
+  options.eps = 0.35;
+  options.seed = 7;
+  FpEstimator alg(options);
+  DriveStream(state, alg);
+}
+BENCHMARK(BM_FpEstimator);
+
+}  // namespace
+}  // namespace fewstate
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+#ifndef FEWSTATE_BENCH_BENCH_UTIL_H_
+#define FEWSTATE_BENCH_BENCH_UTIL_H_
+
+// Shared table-printing helpers for the experiment binaries. Each bench
+// regenerates one paper artefact (a table, a theorem's scaling claim, or a
+// motivation quantity) and prints paper-style rows; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fewstate::bench {
+
+/// Prints a banner naming the experiment and the paper artefact.
+inline void Banner(const char* experiment, const char* artefact,
+                   const char* claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s — reproduces %s\n", experiment, artefact);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================================\n");
+}
+
+/// printf-style row helper (just forwards; exists so call sites read as
+/// table rows).
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void Section(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+}
+
+}  // namespace fewstate::bench
+
+#endif  // FEWSTATE_BENCH_BENCH_UTIL_H_

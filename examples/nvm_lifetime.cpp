@@ -1,0 +1,88 @@
+// The paper's §1.1 motivation, end to end: run heavy-hitter summaries on a
+// stream, capture their exact write traces, replay them onto a simulated
+// phase-change-memory device, and report energy and device lifetime under
+// different wear-leveling policies.
+//
+// The punchline: wear leveling spreads writes but cannot reduce them; a
+// write-frugal algorithm (this paper) attacks the total directly, and the
+// two compose.
+
+#include <cstdio>
+
+#include "baselines/count_min.h"
+#include "core/full_sample_and_hold.h"
+#include "nvm/nvm_adapter.h"
+#include "nvm/nvm_device.h"
+#include "nvm/wear_leveling.h"
+#include "stream/generators.h"
+
+using namespace fewstate;
+
+namespace {
+
+void Replay(const char* algorithm, const WriteLog& log,
+            const StateAccountant& accountant) {
+  NvmConfig config;
+  config.num_cells = 1 << 16;
+  config.endurance = 10000000;  // PCM-like (low end of [MSCT14])
+
+  struct PolicyCase {
+    const char* name;
+    std::unique_ptr<WearLevelingPolicy> policy;
+  };
+  std::vector<PolicyCase> cases;
+  cases.push_back({"direct", MakeDirectMapping(config.num_cells)});
+  cases.push_back({"rotate", MakeRotatingMapping(config.num_cells, 64)});
+  cases.push_back({"hashed", MakeHashedMapping(config.num_cells, 1)});
+
+  for (auto& pc : cases) {
+    NvmDevice device(config);
+    const NvmReplayReport report =
+        ReplayOnNvm(log, accountant, pc.policy.get(), &device);
+    std::printf("%-20s %-8s %12llu %11.2fmJ %12llu %15.0f\n", algorithm,
+                pc.name, (unsigned long long)report.writes_replayed,
+                report.energy_nj * 1e-6,
+                (unsigned long long)report.max_cell_wear,
+                report.projected_stream_replays_to_failure);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t n = 20000, m = 500000;
+  std::printf("workload: %llu updates over %llu items (Zipf 1.3)\n",
+              (unsigned long long)m, (unsigned long long)n);
+  std::printf("device: 64k words PCM, endurance 1e7 writes/cell, write "
+              "energy 10x read\n\n");
+  std::printf("%-20s %-8s %12s %13s %12s %15s\n", "algorithm", "leveling",
+              "writes", "energy", "max_wear", "replays_to_eol");
+
+  const Stream stream = ZipfStream(n, 1.3, m, /*seed=*/31337);
+
+  {
+    WriteLog log(1ULL << 24);
+    CountMin alg(4, 4096, 5);
+    alg.mutable_accountant()->set_write_log(&log);
+    alg.Consume(stream);
+    Replay("CountMin[CM05]", log, alg.accountant());
+  }
+  {
+    WriteLog log(1ULL << 24);
+    FullSampleAndHoldOptions options;
+    options.universe = n;
+    options.stream_length_hint = m;
+    options.p = 2.0;
+    options.eps = 0.25;
+    options.seed = 6;
+    FullSampleAndHold alg(options);
+    alg.mutable_accountant()->set_write_log(&log);
+    alg.Consume(stream);
+    Replay("FullSampleAndHold", log, alg.accountant());
+  }
+
+  std::printf("\nreading: leveling equalises wear (max_wear falls, lifetime "
+              "rises); the write-frugal summary multiplies lifetime again "
+              "by writing less in total.\n");
+  return 0;
+}

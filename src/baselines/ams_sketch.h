@@ -1,0 +1,47 @@
+#ifndef FEWSTATE_BASELINES_AMS_SKETCH_H_
+#define FEWSTATE_BASELINES_AMS_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/stream_types.h"
+#include "state/state_accountant.h"
+#include "state/tracked.h"
+
+namespace fewstate {
+
+/// \brief AMS "tug-of-war" F2 estimator [AMS99].
+///
+/// Maintains `rows x cols` signed accumulators Z_rc = sum_i sign_rc(i) f_i
+/// with 4-wise independent signs; F2 is estimated as the median over rows
+/// of the mean over cols of Z^2. Every update writes all rows*cols
+/// accumulators, so the state-change count is Theta(m) — the classic moment
+/// estimation baseline the paper's Theorem 1.3 contrasts with.
+class AmsSketch : public StreamingAlgorithm {
+ public:
+  /// \brief `cols` averages control variance; `rows` medians control
+  /// failure probability.
+  AmsSketch(size_t rows, size_t cols, uint64_t seed);
+
+  void Update(Item item) override;
+
+  /// \brief Median-of-means estimate of F2.
+  double EstimateF2() const;
+
+  const StateAccountant& accountant() const { return accountant_; }
+  StateAccountant* mutable_accountant() { return &accountant_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  StateAccountant accountant_;
+  std::vector<PolynomialHash> sign_hashes_;  // one per accumulator
+  std::unique_ptr<TrackedArray<int64_t>> accumulators_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_BASELINES_AMS_SKETCH_H_

@@ -1,0 +1,66 @@
+#include "baselines/count_min.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace fewstate {
+
+CountMin::CountMin(size_t depth, size_t width, uint64_t seed,
+                   bool conservative)
+    : depth_(depth == 0 ? 1 : depth),
+      width_(width == 0 ? 1 : width),
+      conservative_(conservative) {
+  hashes_.reserve(depth_);
+  for (size_t d = 0; d < depth_; ++d) {
+    hashes_.emplace_back(/*independence=*/2, Mix64(seed + d * 0x9e37 + 1));
+  }
+  table_ = std::make_unique<TrackedArray<uint64_t>>(&accountant_,
+                                                    depth_ * width_, 0);
+}
+
+void CountMin::Update(Item item) {
+  accountant_.BeginUpdate();
+  if (!conservative_) {
+    for (size_t d = 0; d < depth_; ++d) {
+      const size_t idx = d * width_ + hashes_[d].HashRange(item, width_);
+      table_->Set(idx, table_->Get(idx) + 1);
+    }
+    return;
+  }
+  // Conservative update: new estimate is min+1; only counters below it are
+  // raised.
+  uint64_t min_count = std::numeric_limits<uint64_t>::max();
+  size_t idxs[64];
+  const size_t depth_clamped = std::min<size_t>(depth_, 64);
+  for (size_t d = 0; d < depth_clamped; ++d) {
+    idxs[d] = d * width_ + hashes_[d].HashRange(item, width_);
+    min_count = std::min(min_count, table_->Get(idxs[d]));
+  }
+  const uint64_t target = min_count + 1;
+  for (size_t d = 0; d < depth_clamped; ++d) {
+    if (table_->Get(idxs[d]) < target) {
+      table_->Set(idxs[d], target);
+    }
+  }
+}
+
+double CountMin::EstimateFrequency(Item item) const {
+  uint64_t min_count = std::numeric_limits<uint64_t>::max();
+  for (size_t d = 0; d < depth_; ++d) {
+    const size_t idx = d * width_ + hashes_[d].HashRange(item, width_);
+    min_count = std::min(min_count, table_->Peek(idx));
+  }
+  return static_cast<double>(min_count);
+}
+
+std::vector<HeavyHitter> CountMin::HeavyHittersByScan(Item universe,
+                                                      double threshold) const {
+  std::vector<HeavyHitter> out;
+  for (Item j = 0; j < universe; ++j) {
+    const double est = EstimateFrequency(j);
+    if (est >= threshold) out.push_back(HeavyHitter{j, est});
+  }
+  return out;
+}
+
+}  // namespace fewstate

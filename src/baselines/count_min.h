@@ -1,0 +1,64 @@
+#ifndef FEWSTATE_BASELINES_COUNT_MIN_H_
+#define FEWSTATE_BASELINES_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/stream_types.h"
+#include "state/state_accountant.h"
+#include "state/tracked.h"
+
+namespace fewstate {
+
+/// \brief CountMin sketch [CM05] (Table 1 row 2): L1 heavy hitters /
+/// point queries with overestimates.
+///
+/// A depth x width grid of counters; update writes one counter per row,
+/// so every stream update is a state change (Theta(m) under the paper's
+/// metric). Width w gives additive error 2m/w with probability
+/// 1 - 2^{-depth} (or m/w under conservative update).
+class CountMin : public StreamingAlgorithm {
+ public:
+  /// \brief Creates a sketch of `depth` rows by `width` counters.
+  ///
+  /// \param conservative if true, uses conservative update (only raise
+  ///        counters equal to the current minimum), a standard variant
+  ///        that tightens overestimates and — relevant here — slightly
+  ///        reduces word writes while still changing state on (almost)
+  ///        every update.
+  CountMin(size_t depth, size_t width, uint64_t seed,
+           bool conservative = false);
+
+  void Update(Item item) override;
+
+  /// \brief Overestimate of the frequency of `item` (min over rows).
+  double EstimateFrequency(Item item) const;
+
+  /// \brief Scans candidate universe [0, n) and reports items whose
+  /// estimate is >= `threshold`. (CountMin alone cannot enumerate; the
+  /// scan oracle mirrors how the paper's Table 1 treats these sketches as
+  /// frequency-estimation structures.)
+  std::vector<HeavyHitter> HeavyHittersByScan(Item universe,
+                                              double threshold) const;
+
+  size_t depth() const { return depth_; }
+  size_t width() const { return width_; }
+
+  const StateAccountant& accountant() const { return accountant_; }
+  StateAccountant* mutable_accountant() { return &accountant_; }
+
+ private:
+  size_t depth_;
+  size_t width_;
+  bool conservative_;
+  StateAccountant accountant_;
+  std::vector<PolynomialHash> hashes_;
+  std::unique_ptr<TrackedArray<uint64_t>> table_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_BASELINES_COUNT_MIN_H_

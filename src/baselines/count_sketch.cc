@@ -1,0 +1,63 @@
+#include "baselines/count_sketch.h"
+
+#include "common/math_util.h"
+
+namespace fewstate {
+
+CountSketch::CountSketch(size_t depth, size_t width, uint64_t seed)
+    : depth_(depth == 0 ? 1 : depth), width_(width == 0 ? 1 : width) {
+  bucket_hashes_.reserve(depth_);
+  sign_hashes_.reserve(depth_);
+  for (size_t d = 0; d < depth_; ++d) {
+    bucket_hashes_.emplace_back(/*independence=*/2,
+                                Mix64(seed * 31 + d * 2 + 1));
+    sign_hashes_.emplace_back(/*independence=*/4,
+                              Mix64(seed * 127 + d * 2 + 2));
+  }
+  table_ = std::make_unique<TrackedArray<int64_t>>(&accountant_,
+                                                   depth_ * width_, 0);
+}
+
+void CountSketch::Update(Item item) {
+  accountant_.BeginUpdate();
+  for (size_t d = 0; d < depth_; ++d) {
+    const size_t idx = d * width_ + bucket_hashes_[d].HashRange(item, width_);
+    const int sign = sign_hashes_[d].HashSign(item);
+    table_->Set(idx, table_->Get(idx) + sign);
+  }
+}
+
+double CountSketch::EstimateFrequency(Item item) const {
+  std::vector<double> row_estimates(depth_);
+  for (size_t d = 0; d < depth_; ++d) {
+    const size_t idx = d * width_ + bucket_hashes_[d].HashRange(item, width_);
+    const int sign = sign_hashes_[d].HashSign(item);
+    row_estimates[d] = static_cast<double>(sign * table_->Peek(idx));
+  }
+  return Median(std::move(row_estimates));
+}
+
+std::vector<HeavyHitter> CountSketch::HeavyHittersByScan(
+    Item universe, double threshold) const {
+  std::vector<HeavyHitter> out;
+  for (Item j = 0; j < universe; ++j) {
+    const double est = EstimateFrequency(j);
+    if (est >= threshold) out.push_back(HeavyHitter{j, est});
+  }
+  return out;
+}
+
+double CountSketch::EstimateF2() const {
+  std::vector<double> row_sums(depth_);
+  for (size_t d = 0; d < depth_; ++d) {
+    double sum = 0.0;
+    for (size_t wdx = 0; wdx < width_; ++wdx) {
+      const double c = static_cast<double>(table_->Peek(d * width_ + wdx));
+      sum += c * c;
+    }
+    row_sums[d] = sum;
+  }
+  return Median(std::move(row_sums));
+}
+
+}  // namespace fewstate

@@ -1,0 +1,57 @@
+#ifndef FEWSTATE_BASELINES_COUNT_SKETCH_H_
+#define FEWSTATE_BASELINES_COUNT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/stream_types.h"
+#include "state/state_accountant.h"
+#include "state/tracked.h"
+
+namespace fewstate {
+
+/// \brief CountSketch [CCF04] (Table 1 row 4): L2 heavy hitters via signed
+/// counters.
+///
+/// depth x width grid; each update adds a +-1 sign to one counter per row
+/// (always a state change => Theta(m) state changes). The frequency
+/// estimate is the median over rows of sign * counter, with additive error
+/// O(||f||_2 / sqrt(width)) per row.
+class CountSketch : public StreamingAlgorithm {
+ public:
+  CountSketch(size_t depth, size_t width, uint64_t seed);
+
+  void Update(Item item) override;
+
+  /// \brief Median-of-rows estimate of the frequency of `item`.
+  double EstimateFrequency(Item item) const;
+
+  /// \brief Point-scans the universe [0, n) for estimates >= threshold.
+  std::vector<HeavyHitter> HeavyHittersByScan(Item universe,
+                                              double threshold) const;
+
+  /// \brief Estimate of F2 = ||f||_2^2: median over rows of the row's sum
+  /// of squared counters (the classic AMS/CountSketch connection).
+  double EstimateF2() const;
+
+  size_t depth() const { return depth_; }
+  size_t width() const { return width_; }
+
+  const StateAccountant& accountant() const { return accountant_; }
+  StateAccountant* mutable_accountant() { return &accountant_; }
+
+ private:
+  size_t depth_;
+  size_t width_;
+  StateAccountant accountant_;
+  std::vector<PolynomialHash> bucket_hashes_;
+  std::vector<PolynomialHash> sign_hashes_;
+  std::unique_ptr<TrackedArray<int64_t>> table_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_BASELINES_COUNT_SKETCH_H_

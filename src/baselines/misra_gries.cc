@@ -1,0 +1,51 @@
+#include "baselines/misra_gries.h"
+
+namespace fewstate {
+
+MisraGries::MisraGries(size_t k) : k_(k == 0 ? 1 : k) {
+  // 2 words (item, count) per slot.
+  cells_base_ = accountant_.AllocateCells(2 * k_);
+  counts_.reserve(k_);
+}
+
+void MisraGries::Update(Item item) {
+  accountant_.BeginUpdate();
+  auto it = counts_.find(item);
+  accountant_.RecordRead();
+  if (it != counts_.end()) {
+    ++it->second;
+    accountant_.RecordWrite(cells_base_ + 1);
+    return;
+  }
+  if (counts_.size() < k_) {
+    counts_.emplace(item, 1);
+    accountant_.RecordWrite(cells_base_, 2);
+    return;
+  }
+  // Decrement phase: every tracked count drops by one; zeros are evicted.
+  for (auto iter = counts_.begin(); iter != counts_.end();) {
+    accountant_.RecordWrite(cells_base_ + 1);
+    if (--iter->second == 0) {
+      iter = counts_.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+}
+
+double MisraGries::EstimateFrequency(Item item) const {
+  auto it = counts_.find(item);
+  return it == counts_.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+std::vector<HeavyHitter> MisraGries::HeavyHitters(double threshold) const {
+  std::vector<HeavyHitter> out;
+  for (const auto& [item, count] : counts_) {
+    if (static_cast<double>(count) >= threshold) {
+      out.push_back(HeavyHitter{item, static_cast<double>(count)});
+    }
+  }
+  return out;
+}
+
+}  // namespace fewstate

@@ -1,0 +1,53 @@
+#ifndef FEWSTATE_BASELINES_MISRA_GRIES_H_
+#define FEWSTATE_BASELINES_MISRA_GRIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stream_types.h"
+#include "state/state_accountant.h"
+
+namespace fewstate {
+
+/// \brief Misra–Gries deterministic L1 heavy-hitters summary [MG82]
+/// (Table 1 row 1).
+///
+/// Maintains at most `k` (item, count) pairs. Estimates are underestimates
+/// with additive error at most m/(k+1). Every stream update mutates the
+/// summary, so the paper's state-change metric is Theta(m) — this is the
+/// canonical "writes on every update" baseline the paper contrasts with.
+class MisraGries : public StreamingAlgorithm {
+ public:
+  /// \brief Creates a summary with capacity `k >= 1` counters.
+  explicit MisraGries(size_t k);
+
+  void Update(Item item) override;
+
+  /// \brief Underestimate of the frequency of `item` (0 if not tracked).
+  double EstimateFrequency(Item item) const;
+
+  /// \brief All items whose tracked count is >= `threshold`.
+  std::vector<HeavyHitter> HeavyHitters(double threshold) const;
+
+  /// \brief Number of tracked entries.
+  size_t size() const { return counts_.size(); }
+
+  /// \brief Capacity.
+  size_t capacity() const { return k_; }
+
+  /// \brief State-change instrumentation.
+  const StateAccountant& accountant() const { return accountant_; }
+  StateAccountant* mutable_accountant() { return &accountant_; }
+
+ private:
+  size_t k_;
+  StateAccountant accountant_;
+  uint64_t cells_base_;
+  std::unordered_map<Item, uint64_t> counts_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_BASELINES_MISRA_GRIES_H_

@@ -1,0 +1,65 @@
+#ifndef FEWSTATE_BASELINES_SPACE_SAVING_H_
+#define FEWSTATE_BASELINES_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stream_types.h"
+#include "state/state_accountant.h"
+
+namespace fewstate {
+
+/// \brief SpaceSaving [MAA05] (Table 1 row 3): deterministic L1 top-k /
+/// heavy hitters with overestimates.
+///
+/// Keeps exactly k (item, count, overestimation) triples; when a new item
+/// arrives and the summary is full, a minimum-count entry is replaced and
+/// its count inherited. Every update increments some counter, so the
+/// state-change count is Theta(m).
+class SpaceSaving : public StreamingAlgorithm {
+ public:
+  /// \brief Creates a summary with capacity `k >= 1` counters.
+  explicit SpaceSaving(size_t k);
+
+  void Update(Item item) override;
+
+  /// \brief Overestimate of the frequency of `item` (min count if not
+  /// tracked, matching the classic guarantee f_j <= est <= f_j + min).
+  double EstimateFrequency(Item item) const;
+
+  /// \brief Items whose tracked count >= `threshold`.
+  std::vector<HeavyHitter> HeavyHitters(double threshold) const;
+
+  /// \brief Smallest tracked count (0 while the summary is not full).
+  uint64_t min_count() const;
+
+  size_t size() const { return counts_.size(); }
+  size_t capacity() const { return k_; }
+
+  const StateAccountant& accountant() const { return accountant_; }
+  StateAccountant* mutable_accountant() { return &accountant_; }
+
+ private:
+  struct Entry {
+    uint64_t count = 0;
+    uint64_t error = 0;  // overestimation bound inherited at replacement
+  };
+
+  size_t k_;
+  StateAccountant accountant_;
+  uint64_t cells_base_;
+  std::unordered_map<Item, Entry> counts_;
+  // count -> items holding that count; supports O(log k) minimum
+  // replacement without scanning.
+  std::map<uint64_t, std::unordered_set<Item>> count_buckets_;
+
+  void RemoveFromBucket(uint64_t count, Item item);
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_BASELINES_SPACE_SAVING_H_

@@ -1,0 +1,109 @@
+#include "baselines/stable_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/math_util.h"
+
+namespace fewstate {
+
+StableSketch::StableSketch(double p, size_t rows, uint64_t seed,
+                           CounterMode mode, double morris_a,
+                           StateAccountant* shared_accountant,
+                           bool manage_epochs)
+    : p_(p),
+      rows_(rows == 0 ? 1 : rows),
+      mode_(mode),
+      manage_epochs_(manage_epochs),
+      rng_(Mix64(seed ^ 0x57ab1e5ce7c4ULL)),
+      theta_hash_(Mix64(seed * 3 + 1)),
+      r_hash_(Mix64(seed * 5 + 2)) {
+  if (shared_accountant != nullptr) {
+    accountant_ = shared_accountant;
+  } else {
+    owned_accountant_ = std::make_unique<StateAccountant>();
+    accountant_ = owned_accountant_.get();
+  }
+  if (mode_ == CounterMode::kExact) {
+    exact_rows_ =
+        std::make_unique<TrackedArray<double>>(accountant_, rows_, 0.0);
+  } else {
+    pos_counters_.reserve(rows_);
+    neg_counters_.reserve(rows_);
+    for (size_t r = 0; r < rows_; ++r) {
+      pos_counters_.emplace_back(accountant_, &rng_, morris_a);
+      neg_counters_.emplace_back(accountant_, &rng_, morris_a);
+    }
+  }
+}
+
+double StableSketch::Entry(size_t row, Item item) const {
+  // Derive two (approximately) independent uniforms for the CMS formula
+  // from the (row, item) pair. A seeded hash replaces the paper's
+  // limited-independence derandomisation (see DESIGN.md substitutions).
+  const uint64_t key = Mix64(item * 0x100000001b3ULL + row + 1);
+  double u_theta = theta_hash_.HashUnit(key);
+  double u_r = r_hash_.HashUnit(key ^ 0xabcdef12345678ULL);
+  // Keep both uniforms strictly inside (0, 1) for the logs/poles.
+  if (u_theta <= 0.0) u_theta = 0x1.0p-53;
+  if (u_theta >= 1.0) u_theta = 1.0 - 0x1.0p-53;
+  if (u_r <= 0.0) u_r = 0x1.0p-53;
+  const double theta = (u_theta - 0.5) * M_PI;
+  return PStableFromUniform(p_, theta, u_r);
+}
+
+void StableSketch::Update(Item item) {
+  if (manage_epochs_) accountant_->BeginUpdate();
+  for (size_t r = 0; r < rows_; ++r) {
+    const double e = Entry(r, item);
+    if (mode_ == CounterMode::kExact) {
+      exact_rows_->Set(r, exact_rows_->Get(r) + e);
+    } else if (e >= 0.0) {
+      pos_counters_[r].Add(e);
+    } else {
+      neg_counters_[r].Add(-e);
+    }
+  }
+}
+
+double StableSketch::MedianAbsRowValue() const {
+  std::vector<double> magnitudes(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double v;
+    if (mode_ == CounterMode::kExact) {
+      v = exact_rows_->Peek(r);
+    } else {
+      v = pos_counters_[r].Estimate() - neg_counters_[r].Estimate();
+    }
+    magnitudes[r] = std::fabs(v);
+  }
+  return Median(std::move(magnitudes));
+}
+
+double StableSketch::EstimateLp() const {
+  return MedianAbsRowValue() / MedianAbsPStable(p_);
+}
+
+double StableSketch::EstimateFp() const { return PowP(EstimateLp(), p_); }
+
+double StableSketch::MedianAbsPStable(double p) {
+  static std::mutex mu;
+  static std::map<double, double> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(p);
+  if (it != cache.end()) return it->second;
+  // Seeded Monte Carlo: the scale factor only needs ~3 decimal digits.
+  Rng rng(0xC0FFEE123ULL ^ static_cast<uint64_t>(p * 1e9));
+  constexpr int kSamples = 200001;
+  std::vector<double> samples(kSamples);
+  for (auto& s : samples) s = std::fabs(SamplePStable(p, &rng));
+  const size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+  const double median = samples[mid];
+  cache.emplace(p, median);
+  return median;
+}
+
+}  // namespace fewstate

@@ -1,0 +1,98 @@
+#ifndef FEWSTATE_BASELINES_STABLE_SKETCH_H_
+#define FEWSTATE_BASELINES_STABLE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/random.h"
+#include "common/stream_types.h"
+#include "counters/morris_counter.h"
+#include "state/state_accountant.h"
+#include "state/tracked.h"
+
+namespace fewstate {
+
+/// \brief Indyk's p-stable sketch for Fp/Lp estimation, p in (0, 2]
+/// [Ind06], with the JW19 low-state-change mode of paper Theorem 3.2.
+///
+/// Maintains `rows` inner products < D(r), f > where D(r) entries are
+/// p-stable variates derived deterministically from (row, item) hashes.
+/// ||f||_p is estimated as median_r |<D(r), f>| / median(|Dp|).
+///
+/// Two counter modes:
+///  * `kExact` — classic sketch; every update writes all rows (Theta(m)
+///    state changes). This is the baseline.
+///  * `kMorris` — Theorem 3.2: each row splits D into its positive and
+///    negative parts; both partial inner products are monotone
+///    non-decreasing on insertion-only streams, so each is maintained by a
+///    weighted Morris counter. State changes drop to
+///    poly(log n, 1/eps, log 1/delta). The paper proves the split loses
+///    only (1+eps) accuracy for p < 1 (|<D+,f>| + |<D-,f>| = O(||f||_p));
+///    for p >= 1 the mode still runs but the guarantee degrades, matching
+///    the paper's scoping of Theorem 3.2 to p in (0, 1].
+class StableSketch : public StreamingAlgorithm {
+ public:
+  enum class CounterMode { kExact, kMorris };
+
+  /// \param p stability/moment parameter in (0, 2].
+  /// \param rows number of independent sketch rows (variance control).
+  /// \param morris_a Morris growth parameter for kMorris mode (ignored in
+  ///        kExact mode).
+  /// \param shared_accountant when non-null, state is accounted there and
+  ///        the caller drives BeginUpdate (manage_epochs = false).
+  StableSketch(double p, size_t rows, uint64_t seed, CounterMode mode,
+               double morris_a = 1e-3,
+               StateAccountant* shared_accountant = nullptr,
+               bool manage_epochs = true);
+
+  void Update(Item item) override;
+
+  /// \brief Estimate of ||f||_p.
+  double EstimateLp() const;
+
+  /// \brief Median over rows of |row value|, uncalibrated. The entropy
+  /// estimator calibrates all its nodes from one shared Monte Carlo sample
+  /// set (common random numbers), so it needs the raw statistic.
+  double MedianAbsRowValue() const;
+
+  /// \brief Estimate of Fp = ||f||_p^p.
+  double EstimateFp() const;
+
+  /// \brief Median of |X| for X standard p-stable, estimated once per
+  /// process by seeded Monte Carlo and cached (the sketch's scale factor).
+  static double MedianAbsPStable(double p);
+
+  double p() const { return p_; }
+  size_t rows() const { return rows_; }
+  CounterMode mode() const { return mode_; }
+
+  const StateAccountant& accountant() const { return *accountant_; }
+  StateAccountant* mutable_accountant() { return accountant_; }
+
+ private:
+  /// p-stable entry D(r)[item], derived from hashes (same value every time
+  /// the pair is visited).
+  double Entry(size_t row, Item item) const;
+
+  double p_;
+  size_t rows_;
+  CounterMode mode_;
+  bool manage_epochs_;
+  std::unique_ptr<StateAccountant> owned_accountant_;
+  StateAccountant* accountant_;
+  Rng rng_;
+  TabulationHash theta_hash_;
+  TabulationHash r_hash_;
+  // kExact state: one tracked accumulator per row.
+  std::unique_ptr<TrackedArray<double>> exact_rows_;
+  // kMorris state: positive/negative monotone parts per row.
+  std::vector<MorrisCounter> pos_counters_;
+  std::vector<MorrisCounter> neg_counters_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_BASELINES_STABLE_SKETCH_H_

@@ -1,0 +1,97 @@
+#include "common/hashing.h"
+
+namespace fewstate {
+
+namespace {
+
+// Multiplies a, b < 2^61 - 1 modulo the Mersenne prime 2^61 - 1.
+inline uint64_t MulMod(uint64_t a, uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod & PolynomialHash::kPrime);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + hi;
+  if (r >= PolynomialHash::kPrime) r -= PolynomialHash::kPrime;
+  return r;
+}
+
+inline uint64_t AddMod(uint64_t a, uint64_t b) {
+  uint64_t r = a + b;
+  if (r >= PolynomialHash::kPrime) r -= PolynomialHash::kPrime;
+  return r;
+}
+
+}  // namespace
+
+PolynomialHash::PolynomialHash(int independence, uint64_t seed) {
+  if (independence < 1) independence = 1;
+  Rng rng(Mix64(seed ^ 0x8f14e45fceea167aULL));
+  coeffs_.resize(independence);
+  for (auto& c : coeffs_) {
+    c = rng.Next() % kPrime;
+  }
+  // Leading coefficient nonzero keeps the polynomial degree exact.
+  if (coeffs_.size() > 1 && coeffs_.back() == 0) coeffs_.back() = 1;
+}
+
+uint64_t PolynomialHash::Hash(uint64_t x) const {
+  // Fold the input into the field first.
+  uint64_t xf = x % kPrime;
+  uint64_t acc = 0;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = AddMod(MulMod(acc, xf), coeffs_[i]);
+  }
+  return acc;
+}
+
+uint64_t PolynomialHash::HashRange(uint64_t x, uint64_t range) const {
+  __uint128_t h = Hash(x);
+  return static_cast<uint64_t>((h * range) >> 61);
+}
+
+double PolynomialHash::HashUnit(uint64_t x) const {
+  return static_cast<double>(Hash(x)) / static_cast<double>(kPrime);
+}
+
+int PolynomialHash::HashSign(uint64_t x) const {
+  return (Hash(x) & 1) ? 1 : -1;
+}
+
+int PolynomialHash::GeometricLevel(uint64_t x, int max_level) const {
+  uint64_t h = Hash(x);
+  int level = 0;
+  // P(h < kPrime / 2^l) ~= 2^{-l}.
+  uint64_t threshold = kPrime >> 1;
+  while (level < max_level && h < threshold && threshold > 0) {
+    ++level;
+    threshold >>= 1;
+  }
+  return level;
+}
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  Rng rng(Mix64(seed ^ 0x4a9b3c5d2e1f6071ULL));
+  for (auto& table : tables_) {
+    for (auto& entry : table) {
+      entry = rng.Next();
+    }
+  }
+}
+
+uint64_t TabulationHash::Hash(uint64_t x) const {
+  uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) {
+    h ^= tables_[i][(x >> (8 * i)) & 0xff];
+  }
+  return h;
+}
+
+uint64_t TabulationHash::HashRange(uint64_t x, uint64_t range) const {
+  __uint128_t h = Hash(x);
+  return static_cast<uint64_t>((h * range) >> 64);
+}
+
+double TabulationHash::HashUnit(uint64_t x) const {
+  return static_cast<double>(Hash(x) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace fewstate

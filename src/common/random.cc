@@ -1,0 +1,130 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace fewstate {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(&s);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  s_[0] = SplitMix64(&sm);
+  s_[1] = SplitMix64(&sm);
+  s_[2] = SplitMix64(&sm);
+  s_[3] = SplitMix64(&sm);
+  // Xoshiro state must not be all-zero; SplitMix64 of any seed never yields
+  // four zero words, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) {
+  return lo + UniformInt(hi - lo + 1);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDoublePositive() {
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u == 0.0);
+  return u;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+int Rng::GeometricLevel() {
+  int level = 0;
+  while (level < 63) {
+    uint64_t bits = Next();
+    if (bits != ~0ULL) {
+      // Count trailing ones of this word (each one-bit is a "head").
+      int runs = __builtin_ctzll(~bits);
+      return level + runs;
+    }
+    level += 64;
+  }
+  return 63;
+}
+
+double Rng::Normal() {
+  double u1 = UniformDoublePositive();
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  return Rng(Mix64(seed_ ^ Mix64(stream_id + 0x632be59bd9b4e019ULL)));
+}
+
+double PStableFromUniform(double p, double theta, double r) {
+  // The CMS formula is continuous in p on (0, 2]: at p = 1 the exponent
+  // (1-p)/p vanishes and the expression reduces to tan(theta) (Cauchy); at
+  // p = 2 it reduces to 2 sin(theta) sqrt(-ln r), which is N(0, 2).
+  const double denom = std::pow(std::cos(theta), 1.0 / p);
+  const double lead = std::sin(p * theta) / denom;
+  const double tail =
+      std::pow(std::cos(theta * (1.0 - p)) / -std::log(r), (1.0 - p) / p);
+  return lead * tail;
+}
+
+double SamplePStable(double p, Rng* rng) {
+  double theta;
+  do {
+    theta = (rng->UniformDouble() - 0.5) * M_PI;
+  } while (theta == -0.5 * M_PI);  // keep cos(theta) > 0
+  const double r = rng->UniformDoublePositive();
+  return PStableFromUniform(p, theta, r);
+}
+
+}  // namespace fewstate

@@ -1,0 +1,81 @@
+#ifndef FEWSTATE_COMMON_STATUS_H_
+#define FEWSTATE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace fewstate {
+
+/// \brief Lightweight success/error result for fallible configuration and
+/// construction paths (RocksDB idiom).
+///
+/// Hot-path stream operations (`Update`) never return a Status; all
+/// validation happens once, up front, when an algorithm is configured.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kOutOfRange = 2,
+    kFailedPrecondition = 3,
+    kInternal = 4,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+
+  /// \brief Returns an error carrying `Code::kInvalidArgument`.
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+
+  /// \brief Returns an error carrying `Code::kOutOfRange`.
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+
+  /// \brief Returns an error carrying `Code::kFailedPrecondition`.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+
+  /// \brief Returns an error carrying `Code::kInternal`.
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  /// \brief True iff this status represents success.
+  bool ok() const { return code_ == Code::kOk; }
+
+  /// \brief Machine-readable error code.
+  Code code() const { return code_; }
+
+  /// \brief Human-readable error description; empty when ok().
+  const std::string& message() const { return message_; }
+
+  /// \brief Renders "OK" or "<code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kOutOfRange: name = "OutOfRange"; break;
+      case Code::kFailedPrecondition: name = "FailedPrecondition"; break;
+      case Code::kInternal: name = "Internal"; break;
+    }
+    return name + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_COMMON_STATUS_H_

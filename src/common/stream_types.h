@@ -1,0 +1,51 @@
+#ifndef FEWSTATE_COMMON_STREAM_TYPES_H_
+#define FEWSTATE_COMMON_STREAM_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fewstate {
+
+/// \brief Identity of a universe element; the paper's model has updates
+/// u_t in [n].
+using Item = uint64_t;
+
+/// \brief 1-based position of an update within the stream.
+using Timestamp = uint64_t;
+
+/// \brief An insertion-only stream is a sequence of item identities.
+using Stream = std::vector<Item>;
+
+/// \brief One reported heavy hitter: an item and its estimated frequency.
+struct HeavyHitter {
+  Item item = 0;
+  double estimate = 0.0;
+
+  friend bool operator==(const HeavyHitter& a, const HeavyHitter& b) {
+    return a.item == b.item && a.estimate == b.estimate;
+  }
+};
+
+/// \brief Interface shared by every streaming algorithm in the library.
+///
+/// Implementations consume one update at a time via Update(); queries are
+/// algorithm-specific methods on the concrete class. Concrete classes also
+/// expose their `state::StateAccountant` so callers can read the paper's
+/// state-change metric after (or during) the stream.
+class StreamingAlgorithm {
+ public:
+  virtual ~StreamingAlgorithm() = default;
+
+  /// \brief Processes one stream update (an occurrence of `item`).
+  virtual void Update(Item item) = 0;
+
+  /// \brief Convenience: processes a whole stream in order.
+  void Consume(const Stream& stream) {
+    for (Item item : stream) Update(item);
+  }
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_COMMON_STREAM_TYPES_H_

@@ -1,0 +1,72 @@
+#ifndef FEWSTATE_CORE_ENTROPY_ESTIMATOR_H_
+#define FEWSTATE_CORE_ENTROPY_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/stable_sketch.h"
+#include "common/random.h"
+#include "common/stream_types.h"
+#include "core/options.h"
+#include "counters/morris_counter.h"
+#include "state/state_accountant.h"
+
+namespace fewstate {
+
+/// \brief The paper's Theorem 3.8: additive-eps Shannon entropy estimation
+/// with few state changes, via the [HNO08] interpolation of Fp moments.
+///
+/// The entropy satisfies H = log2(m) - phi'(1) where phi(p) = log2(F_p):
+/// d/dp log2(F_p) at p = 1 equals (1/m) sum f_j log2 f_j. The estimator
+/// evaluates phi at the HNO08 Chebyshev nodes p_i = 1 + g(cos(i*pi/k))
+/// clustered in a radius-ell window around 1 (Lemma 3.7), interpolates,
+/// and differentiates the interpolant at 1.
+///
+/// Each node's F_p is estimated by a Morris-backed p-stable sketch (the
+/// Theorem 3.2 machinery; p_i <= 1 + ell <= 2 is within the p-stable
+/// range). All node sketches are built from the SAME seed, hence the same
+/// (theta, r) hash pairs per (row, item): common random numbers make the
+/// node estimates strongly positively correlated, so the divided
+/// differences that form phi'(1) cancel most of the sketch noise — the
+/// practical counterpart of HNO08's eps' = eps/(12(k+1)^3 log m) precision
+/// requirement (see DESIGN.md).
+///
+/// The stream length m is tracked by a Morris counter (state-change
+/// frugal); the universe size n and a length hint are assumed known a
+/// priori, as in Theorem 3.8.
+class EntropyEstimator : public StreamingAlgorithm {
+ public:
+  explicit EntropyEstimator(const EntropyEstimatorOptions& options);
+
+  /// \brief Status-returning factory.
+  static Status Create(const EntropyEstimatorOptions& options,
+                       std::unique_ptr<EntropyEstimator>* out);
+
+  void Update(Item item) override;
+
+  /// \brief Estimate of the Shannon entropy (bits).
+  double EstimateEntropy() const;
+
+  /// \brief The interpolation nodes in use.
+  const std::vector<double>& nodes() const { return nodes_; }
+
+  /// \brief Per-node Fp estimates (diagnostics).
+  std::vector<double> NodeMomentEstimates() const;
+
+  const StateAccountant& accountant() const { return accountant_; }
+  StateAccountant* mutable_accountant() { return &accountant_; }
+
+ private:
+  EntropyEstimatorOptions options_;
+  StateAccountant accountant_;
+  Rng rng_;
+  std::vector<double> nodes_;
+  std::vector<double> node_calibration_;  // shared-sample median |D_p|
+  std::vector<std::unique_ptr<StableSketch>> node_sketches_;
+  std::unique_ptr<MorrisCounter> length_counter_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_CORE_ENTROPY_ESTIMATOR_H_

@@ -1,0 +1,63 @@
+#ifndef FEWSTATE_CORE_HEAVY_HITTERS_H_
+#define FEWSTATE_CORE_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stream_types.h"
+#include "core/fp_estimator.h"
+#include "core/full_sample_and_hold.h"
+#include "core/options.h"
+#include "state/state_accountant.h"
+
+namespace fewstate {
+
+/// \brief User-facing Lp heavy hitters (paper Theorem 1.1).
+///
+/// Combines FullSampleAndHold (frequency estimates with additive error
+/// <= (eps/2) ||f||_p whp) with a coarse FpEstimator whose Lp estimate
+/// supplies the reporting threshold (the "2-approximation of ||f||_p" the
+/// paper assumes, §1.2). `HeavyHitters()` then returns every item whose
+/// estimate clears (eps/2) * Lp-hat — containing all true eps-heavy
+/// hitters and no item below (eps/4) ||f||_p, matching the theorem's
+/// guarantee shape.
+class LpHeavyHitters : public StreamingAlgorithm {
+ public:
+  explicit LpHeavyHitters(const HeavyHittersOptions& options);
+
+  /// \brief Status-returning factory.
+  static Status Create(const HeavyHittersOptions& options,
+                       std::unique_ptr<LpHeavyHitters>* out);
+
+  void Update(Item item) override;
+
+  /// \brief Underestimate of the frequency of `item`.
+  double EstimateFrequency(Item item) const;
+
+  /// \brief Items reported as eps-heavy (threshold from the internal norm
+  /// estimate).
+  std::vector<HeavyHitter> HeavyHitters() const;
+
+  /// \brief Items with estimate >= explicit `threshold` (bypasses the norm
+  /// estimate).
+  std::vector<HeavyHitter> HeavyHittersAbove(double threshold) const;
+
+  /// \brief Internal estimate of ||f||_p.
+  double EstimateLpNorm() const;
+
+  /// \brief Combined state-change count across both internal structures
+  /// (they share one accountant).
+  const StateAccountant& accountant() const { return accountant_; }
+  StateAccountant* mutable_accountant() { return &accountant_; }
+
+ private:
+  HeavyHittersOptions options_;
+  StateAccountant accountant_;
+  std::unique_ptr<FullSampleAndHold> frequencies_;
+  std::unique_ptr<FpEstimator> norm_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_CORE_HEAVY_HITTERS_H_

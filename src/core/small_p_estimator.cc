@@ -1,0 +1,38 @@
+#include "core/small_p_estimator.h"
+
+#include <cmath>
+
+namespace fewstate {
+
+SmallPEstimator::SmallPEstimator(const SmallPEstimatorOptions& options)
+    : options_(options) {
+  const double eps = options_.eps;
+  const size_t rows =
+      options_.rows > 0
+          ? options_.rows
+          : static_cast<size_t>(std::ceil(6.0 / (eps * eps)));
+  // Monotone inner-product counters accurate to (1 + eps/4) each.
+  const double a =
+      options_.morris_a > 0.0 ? options_.morris_a : eps * eps / 32.0;
+  sketch_ = std::make_unique<StableSketch>(options_.p, rows, options_.seed,
+                                           StableSketch::CounterMode::kMorris,
+                                           a);
+}
+
+Status SmallPEstimator::Create(const SmallPEstimatorOptions& options,
+                               std::unique_ptr<SmallPEstimator>* out) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  *out = std::make_unique<SmallPEstimator>(options);
+  return Status::OK();
+}
+
+void SmallPEstimator::Update(Item item) { sketch_->Update(item); }
+
+double SmallPEstimator::EstimateFp() const { return sketch_->EstimateFp(); }
+
+double SmallPEstimator::EstimateLp() const { return sketch_->EstimateLp(); }
+
+size_t SmallPEstimator::rows() const { return sketch_->rows(); }
+
+}  // namespace fewstate

@@ -1,0 +1,54 @@
+#ifndef FEWSTATE_CORE_SMALL_P_ESTIMATOR_H_
+#define FEWSTATE_CORE_SMALL_P_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "baselines/stable_sketch.h"
+#include "common/stream_types.h"
+#include "core/options.h"
+#include "state/state_accountant.h"
+
+namespace fewstate {
+
+/// \brief The paper's Theorem 3.2: Fp estimation for p in (0, 1] with
+/// poly(log n, 1/eps) state changes.
+///
+/// Front-end over the Morris-backed p-stable sketch (JW19): each sketch
+/// row maintains the positive and negative parts of its p-stable inner
+/// product, both monotone on insertion-only streams, with weighted Morris
+/// counters. The key fact (for p < 1): |<D+,f>| + |<D-,f>| = O(||f||_p),
+/// so (1+eps)-accurate monotone counters suffice for a (1+eps) Fp
+/// estimate while writing state only polylogarithmically often.
+class SmallPEstimator : public StreamingAlgorithm {
+ public:
+  explicit SmallPEstimator(const SmallPEstimatorOptions& options);
+
+  /// \brief Status-returning factory.
+  static Status Create(const SmallPEstimatorOptions& options,
+                       std::unique_ptr<SmallPEstimator>* out);
+
+  void Update(Item item) override;
+
+  /// \brief Estimate of Fp.
+  double EstimateFp() const;
+
+  /// \brief Estimate of the Lp norm.
+  double EstimateLp() const;
+
+  size_t rows() const;
+  double p() const { return options_.p; }
+
+  const StateAccountant& accountant() const { return sketch_->accountant(); }
+  StateAccountant* mutable_accountant() {
+    return sketch_->mutable_accountant();
+  }
+
+ private:
+  SmallPEstimatorOptions options_;
+  std::unique_ptr<StableSketch> sketch_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_CORE_SMALL_P_ESTIMATOR_H_

@@ -1,0 +1,54 @@
+#include "core/sparse_recovery.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace fewstate {
+
+SparseRecovery::SparseRecovery(const SparseRecoveryOptions& options)
+    : options_(options) {
+  FullSampleAndHoldOptions inner;
+  inner.universe = options_.universe;
+  inner.stream_length_hint = options_.stream_length_hint;
+  inner.p = 1.0;
+  // eps tuned to the balanced k-sparse promise: support items have
+  // frequency >= m/(2k) = (1/(2k)) * ||f||_1.
+  inner.eps = std::min(0.5, 1.0 / (2.0 * static_cast<double>(
+                                             std::max<uint64_t>(
+                                                 options_.sparsity, 1))));
+  inner.seed = Mix64(options_.seed + 0x5a125);
+  inner.repetitions = 3;
+  structure_ = std::make_unique<FullSampleAndHold>(inner);
+}
+
+Status SparseRecovery::Create(const SparseRecoveryOptions& options,
+                              std::unique_ptr<SparseRecovery>* out) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  *out = std::make_unique<SparseRecovery>(options);
+  return Status::OK();
+}
+
+void SparseRecovery::Update(Item item) {
+  ++updates_seen_;
+  structure_->Update(item);
+}
+
+std::vector<Item> SparseRecovery::RecoverSupport() const {
+  const double threshold = static_cast<double>(updates_seen_) /
+                           (2.0 * static_cast<double>(options_.sparsity));
+  return RecoverSupportAbove(threshold);
+}
+
+std::vector<Item> SparseRecovery::RecoverSupportAbove(
+    double threshold) const {
+  std::vector<Item> support;
+  for (const HeavyHitter& hh : structure_->TrackedItemsAbove(threshold)) {
+    support.push_back(hh.item);
+  }
+  std::sort(support.begin(), support.end());
+  return support;
+}
+
+}  // namespace fewstate

@@ -1,0 +1,56 @@
+#ifndef FEWSTATE_CORE_SPARSE_RECOVERY_H_
+#define FEWSTATE_CORE_SPARSE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stream_types.h"
+#include "core/full_sample_and_hold.h"
+#include "core/options.h"
+#include "state/state_accountant.h"
+
+namespace fewstate {
+
+/// \brief Sparse support recovery with few state changes (the abstract's
+/// fourth problem).
+///
+/// Given a promise that the frequency vector is k-sparse and balanced
+/// (every support item has frequency >= m / (c*k) for a small constant c),
+/// the support is exactly the set of L1 heavy hitters at threshold
+/// eps = 1/(c*k) — so a FullSampleAndHold instance at p = 1 with that
+/// accuracy recovers it using Otilde(k) state changes (n^{1-1/p} = 1 at
+/// p = 1; the k dependence enters through eps).
+class SparseRecovery : public StreamingAlgorithm {
+ public:
+  explicit SparseRecovery(const SparseRecoveryOptions& options);
+
+  /// \brief Status-returning factory.
+  static Status Create(const SparseRecoveryOptions& options,
+                       std::unique_ptr<SparseRecovery>* out);
+
+  void Update(Item item) override;
+
+  /// \brief Recovered support: tracked items whose estimate clears half
+  /// the balanced-frequency promise m/(2k). `stream_length` is the true m
+  /// (known to the caller; pass updates_seen() for the online value).
+  std::vector<Item> RecoverSupport() const;
+
+  /// \brief Recovered support with an explicit frequency threshold.
+  std::vector<Item> RecoverSupportAbove(double threshold) const;
+
+  uint64_t updates_seen() const { return updates_seen_; }
+
+  const StateAccountant& accountant() const {
+    return structure_->accountant();
+  }
+
+ private:
+  SparseRecoveryOptions options_;
+  uint64_t updates_seen_ = 0;
+  std::unique_ptr<FullSampleAndHold> structure_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_CORE_SPARSE_RECOVERY_H_

@@ -1,0 +1,69 @@
+#include "counters/morris_counter.h"
+
+#include <cmath>
+
+namespace fewstate {
+
+MorrisCounter::MorrisCounter(StateAccountant* accountant, Rng* rng, double a)
+    : accountant_(accountant),
+      rng_(rng),
+      a_(a < 0 ? 0.0 : a),
+      log1p_a_(std::log1p(a_)),
+      level_(accountant, 0) {}
+
+double MorrisCounter::GrowthForAccuracy(double eps, double delta) {
+  double a = 2.0 * eps * eps * delta;
+  return a;
+}
+
+double MorrisCounter::ValueAt(double x) const {
+  if (a_ == 0.0) return x;
+  return std::expm1(x * log1p_a_) / a_;
+}
+
+double MorrisCounter::LevelFor(double v) const {
+  if (a_ == 0.0) return v;
+  return std::log1p(a_ * v) / log1p_a_;
+}
+
+void MorrisCounter::Increment() {
+  const uint32_t x = level_.Peek();
+  accountant_->RecordRead();
+  if (a_ == 0.0) {
+    level_.Set(x + 1);
+    ++level_changes_;
+    return;
+  }
+  // Advance with probability (1+a)^{-x}.
+  const double advance_prob = std::exp(-static_cast<double>(x) * log1p_a_);
+  if (rng_->Bernoulli(advance_prob)) {
+    level_.Set(x + 1);
+    ++level_changes_;
+  }
+}
+
+void MorrisCounter::Add(double w) {
+  if (w <= 0.0) return;
+  const uint32_t x = level_.Peek();
+  accountant_->RecordRead();
+  const double target = ValueAt(x) + w;
+  double xf = LevelFor(target);
+  uint32_t base = static_cast<uint32_t>(xf);
+  if (base < x) base = x;  // guard against floating-point rounding
+  const double lo = ValueAt(base);
+  const double gap = ValueAt(base + 1) - lo;
+  double q = (target - lo) / gap;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint32_t final_level = base + (rng_->Bernoulli(q) ? 1 : 0);
+  if (final_level != x) {
+    level_.Set(final_level);
+    ++level_changes_;
+  } else {
+    accountant_->RecordSuppressedWrite();
+  }
+}
+
+double MorrisCounter::Estimate() const { return ValueAt(level_.Peek()); }
+
+}  // namespace fewstate

@@ -1,0 +1,81 @@
+#ifndef FEWSTATE_COUNTERS_MORRIS_COUNTER_H_
+#define FEWSTATE_COUNTERS_MORRIS_COUNTER_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "state/state_accountant.h"
+#include "state/tracked.h"
+
+namespace fewstate {
+
+/// \brief Approximate counter with few state changes (paper Theorem 1.5,
+/// [Mor78, NY22]).
+///
+/// The counter keeps a single tracked word: the level X. The estimated
+/// count is value(X) = ((1+a)^X - 1) / a, which is unbiased for the true
+/// count under the standard Morris increment rule (advance X with
+/// probability (1+a)^{-X}). Smaller `a` means better accuracy but more
+/// level advances: a counter that reaches count n performs
+/// O(log(1 + a*n)/a) state changes — poly(log n, 1/eps, log 1/delta) with
+/// a = Theta(eps^2 * delta), versus n for an exact counter.
+///
+/// `a == 0` degenerates to an exact counter (every increment advances),
+/// which is how the library's "exact counter" baselines are expressed.
+///
+/// Real-valued increments (`Add`) are supported for the p-stable sketch of
+/// Theorem 3.2: the target value value(X) + w is converted to a fractional
+/// level and the counter jumps there with probabilistic rounding, keeping
+/// the estimate unbiased while performing at most two tracked writes (and
+/// usually zero when w is far below the current level gap).
+class MorrisCounter {
+ public:
+  /// \brief Constructs a counter with growth parameter `a >= 0` drawing
+  /// randomness from `rng` (not owned; one Rng is typically shared by all
+  /// counters of an algorithm).
+  MorrisCounter(StateAccountant* accountant, Rng* rng, double a);
+
+  MorrisCounter(MorrisCounter&&) noexcept = default;
+  MorrisCounter& operator=(MorrisCounter&&) noexcept = default;
+
+  /// \brief Growth parameter achieving (1+eps)-accuracy with probability
+  /// 1 - delta via Chebyshev on the standard Morris variance bound
+  /// Var[estimate] <= a * n^2 / 2:  a = 2 * eps^2 * delta.
+  static double GrowthForAccuracy(double eps, double delta);
+
+  /// \brief Counts one occurrence.
+  void Increment();
+
+  /// \brief Adds a non-negative real weight.
+  void Add(double w);
+
+  /// \brief Unbiased estimate of the accumulated count/weight.
+  double Estimate() const;
+
+  /// \brief Current level (the single word of tracked state).
+  uint32_t level() const { return level_.Peek(); }
+
+  /// \brief Number of level advances so far (== tracked state changes
+  /// attributable to this counter).
+  uint64_t level_changes() const { return level_changes_; }
+
+  /// \brief Growth parameter.
+  double a() const { return a_; }
+
+ private:
+  /// Estimate implied by level x.
+  double ValueAt(double x) const;
+  /// Inverse of ValueAt: (possibly fractional) level whose value is v.
+  double LevelFor(double v) const;
+
+  StateAccountant* accountant_;
+  Rng* rng_;
+  double a_;
+  double log1p_a_;  // cached log(1+a); 0 when a == 0
+  TrackedCell<uint32_t> level_;
+  uint64_t level_changes_ = 0;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_COUNTERS_MORRIS_COUNTER_H_

@@ -1,0 +1,34 @@
+#include "nvm/nvm_adapter.h"
+
+#include <limits>
+
+namespace fewstate {
+
+NvmReplayReport ReplayOnNvm(const WriteLog& log,
+                            const StateAccountant& accountant,
+                            WearLevelingPolicy* policy, NvmDevice* device) {
+  NvmReplayReport report;
+  for (const WriteRecord& record : log.records()) {
+    device->Write(policy->MapWrite(record.cell));
+    ++report.writes_replayed;
+  }
+  // Reads are aggregate (the accountant does not log addresses); they cost
+  // energy/latency but never wear cells.
+  device->ReadBulk(accountant.word_reads());
+  report.reads_replayed = accountant.word_reads();
+  report.max_cell_wear = device->max_cell_wear();
+  report.wear_imbalance = device->wear_imbalance();
+  report.energy_nj = device->energy_nj();
+  report.latency_ns = device->latency_ns();
+  if (device->max_cell_wear() == 0) {
+    report.projected_stream_replays_to_failure =
+        std::numeric_limits<double>::infinity();
+  } else {
+    report.projected_stream_replays_to_failure =
+        static_cast<double>(device->config().endurance) /
+        static_cast<double>(device->max_cell_wear());
+  }
+  return report;
+}
+
+}  // namespace fewstate

@@ -1,0 +1,38 @@
+#ifndef FEWSTATE_NVM_NVM_ADAPTER_H_
+#define FEWSTATE_NVM_NVM_ADAPTER_H_
+
+#include <cstdint>
+
+#include "nvm/nvm_device.h"
+#include "nvm/wear_leveling.h"
+#include "state/state_accountant.h"
+#include "state/write_log.h"
+
+namespace fewstate {
+
+/// \brief Outcome of replaying an algorithm's memory behaviour on NVM.
+struct NvmReplayReport {
+  uint64_t writes_replayed = 0;
+  uint64_t reads_replayed = 0;
+  uint64_t max_cell_wear = 0;
+  double wear_imbalance = 1.0;
+  double energy_nj = 0.0;
+  double latency_ns = 0.0;
+  /// Projected number of times the whole stream could be re-run before the
+  /// first cell wears out (infinite if no writes landed anywhere).
+  double projected_stream_replays_to_failure = 0.0;
+};
+
+/// \brief Replays a recorded `WriteLog` (plus aggregate read counts from
+/// the accountant) through a wear-leveling policy onto a simulated device.
+///
+/// This turns the paper's abstract state-change counts into the §1.1
+/// motivating quantities: energy, latency and device lifetime under
+/// asymmetric read/write costs.
+NvmReplayReport ReplayOnNvm(const WriteLog& log,
+                            const StateAccountant& accountant,
+                            WearLevelingPolicy* policy, NvmDevice* device);
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_NVM_NVM_ADAPTER_H_

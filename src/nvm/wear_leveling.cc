@@ -1,0 +1,51 @@
+#include "nvm/wear_leveling.h"
+
+namespace fewstate {
+
+DirectMapping::DirectMapping(uint64_t num_cells)
+    : num_cells_(num_cells == 0 ? 1 : num_cells) {}
+
+uint64_t DirectMapping::MapWrite(uint64_t logical) {
+  return logical % num_cells_;
+}
+
+RotatingMapping::RotatingMapping(uint64_t num_cells, uint64_t rotate_period)
+    : num_cells_(num_cells == 0 ? 1 : num_cells),
+      rotate_period_(rotate_period == 0 ? 1 : rotate_period) {}
+
+uint64_t RotatingMapping::MapWrite(uint64_t logical) {
+  const uint64_t physical = (logical + offset_) % num_cells_;
+  if (++writes_ % rotate_period_ == 0) {
+    offset_ = (offset_ + 1) % num_cells_;
+  }
+  return physical;
+}
+
+HashedMapping::HashedMapping(uint64_t num_cells, uint64_t seed)
+    : num_cells_(num_cells == 0 ? 1 : num_cells), hash_(seed) {}
+
+uint64_t HashedMapping::MapWrite(uint64_t logical) {
+  // Version the logical cell so successive writes scatter.
+  if (logical >= write_counts_.size()) {
+    write_counts_.resize(logical + 1, 0);
+  }
+  const uint64_t version = write_counts_[logical]++;
+  return hash_.HashRange(Mix64(logical * 0x9e3779b97f4a7c15ULL + version),
+                         num_cells_);
+}
+
+std::unique_ptr<WearLevelingPolicy> MakeDirectMapping(uint64_t num_cells) {
+  return std::make_unique<DirectMapping>(num_cells);
+}
+
+std::unique_ptr<WearLevelingPolicy> MakeRotatingMapping(
+    uint64_t num_cells, uint64_t rotate_period) {
+  return std::make_unique<RotatingMapping>(num_cells, rotate_period);
+}
+
+std::unique_ptr<WearLevelingPolicy> MakeHashedMapping(uint64_t num_cells,
+                                                      uint64_t seed) {
+  return std::make_unique<HashedMapping>(num_cells, seed);
+}
+
+}  // namespace fewstate

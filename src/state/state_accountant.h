@@ -1,0 +1,128 @@
+#ifndef FEWSTATE_STATE_STATE_ACCOUNTANT_H_
+#define FEWSTATE_STATE_STATE_ACCOUNTANT_H_
+
+#include <cstdint>
+
+#include "state/write_log.h"
+
+namespace fewstate {
+
+/// \brief Mechanisation of the paper's state-change complexity measure
+/// (§1.5 "Model").
+///
+/// The paper defines: for an algorithm with memory state sigma_t after
+/// update t, the indicator X_t = 1 iff sigma_t != sigma_{t-1}, and the
+/// number of internal state changes is sum_t X_t. This class tracks that
+/// metric exactly — algorithms call `BeginUpdate()` once per stream update
+/// and route every mutation of algorithmic state through `RecordWrite()`
+/// (typically via `TrackedCell`/`TrackedArray`). A write that stores the
+/// value already present is *not* a state change (sigma is unchanged) and
+/// should be reported via `RecordSuppressedWrite()`.
+///
+/// Besides the paper metric, the accountant tracks finer-grained counts
+/// (total word writes, reads, peak allocated words) used by the NVM cost
+/// model and the space benchmarks.
+class StateAccountant {
+ public:
+  StateAccountant() = default;
+
+  /// \brief Marks the start of processing one stream update. Writes made
+  /// before the first BeginUpdate are attributed to epoch 0
+  /// (initialisation) and do not count toward the paper metric.
+  void BeginUpdate() {
+    if (dirty_ && epoch_ > 0) ++updates_with_change_;
+    dirty_ = false;  // epoch-0 (initialisation) writes are free
+    ++epoch_;
+  }
+
+  /// \brief Records a mutation of `words` words of algorithmic state
+  /// (value actually changed).
+  void RecordWrite(uint64_t cell, uint64_t words = 1) {
+    dirty_ = true;
+    word_writes_ += words;
+    if (log_ != nullptr) {
+      for (uint64_t w = 0; w < words; ++w) log_->Append(epoch_, cell + w);
+    }
+  }
+
+  /// \brief Records a write that stored the already-present value; this is
+  /// not a state change under the paper's definition.
+  void RecordSuppressedWrite(uint64_t words = 1) {
+    suppressed_writes_ += words;
+  }
+
+  /// \brief Records `words` words read from state.
+  void RecordRead(uint64_t words = 1) { word_reads_ += words; }
+
+  /// \brief Reserves `words` logical cells and returns the base address.
+  /// Tracks peak allocation for the space experiments.
+  uint64_t AllocateCells(uint64_t words) {
+    uint64_t base = allocated_words_;
+    allocated_words_ += words;
+    if (allocated_words_ > peak_allocated_words_) {
+      peak_allocated_words_ = allocated_words_;
+    }
+    return base;
+  }
+
+  /// \brief Releases `words` cells (space accounting only; addresses are
+  /// never recycled so write logs stay unambiguous).
+  void ReleaseCells(uint64_t words) {
+    allocated_words_ = (words > allocated_words_) ? 0 : allocated_words_ - words;
+  }
+
+  /// \brief Attaches (or detaches, with nullptr) a write trace.
+  void set_write_log(WriteLog* log) { log_ = log; }
+
+  /// \brief The paper's metric: number of updates t with sigma_t !=
+  /// sigma_{t-1}. Includes the in-flight update if it has already written.
+  uint64_t state_changes() const {
+    return updates_with_change_ + ((dirty_ && epoch_ > 0) ? 1 : 0);
+  }
+
+  /// \brief Total words written (a single update may write many words).
+  uint64_t word_writes() const { return word_writes_; }
+
+  /// \brief Words "written back" unchanged (not state changes).
+  uint64_t suppressed_writes() const { return suppressed_writes_; }
+
+  /// \brief Total words read.
+  uint64_t word_reads() const { return word_reads_; }
+
+  /// \brief Stream updates observed so far.
+  uint64_t updates() const { return epoch_; }
+
+  /// \brief Currently allocated state, in words.
+  uint64_t allocated_words() const { return allocated_words_; }
+
+  /// \brief High-water mark of allocated state, in words.
+  uint64_t peak_allocated_words() const { return peak_allocated_words_; }
+
+  /// \brief Resets all counters (the attached write log is cleared too).
+  void Reset() {
+    epoch_ = 0;
+    dirty_ = false;
+    updates_with_change_ = 0;
+    word_writes_ = 0;
+    suppressed_writes_ = 0;
+    word_reads_ = 0;
+    allocated_words_ = 0;
+    peak_allocated_words_ = 0;
+    if (log_ != nullptr) log_->Clear();
+  }
+
+ private:
+  uint64_t epoch_ = 0;
+  bool dirty_ = false;
+  uint64_t updates_with_change_ = 0;
+  uint64_t word_writes_ = 0;
+  uint64_t suppressed_writes_ = 0;
+  uint64_t word_reads_ = 0;
+  uint64_t allocated_words_ = 0;
+  uint64_t peak_allocated_words_ = 0;
+  WriteLog* log_ = nullptr;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_STATE_STATE_ACCOUNTANT_H_

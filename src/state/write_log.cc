@@ -1,0 +1,21 @@
+#include "state/write_log.h"
+
+namespace fewstate {
+
+WriteLog::WriteLog(uint64_t capacity) : capacity_(capacity) {
+  records_.reserve(static_cast<size_t>(capacity < 4096 ? capacity : 4096));
+}
+
+void WriteLog::Append(uint64_t epoch, uint64_t cell) {
+  ++total_appends_;
+  if (records_.size() < capacity_) {
+    records_.push_back(WriteRecord{epoch, cell});
+  }
+}
+
+void WriteLog::Clear() {
+  records_.clear();
+  total_appends_ = 0;
+}
+
+}  // namespace fewstate

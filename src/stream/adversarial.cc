@@ -1,0 +1,93 @@
+#include "stream/adversarial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "stream/generators.h"
+
+namespace fewstate {
+
+LowerBoundInstance MakeLowerBoundInstance(uint64_t n, uint64_t block_len,
+                                          uint64_t seed) {
+  LowerBoundInstance inst;
+  if (block_len == 0) block_len = 1;
+  if (block_len > n) block_len = n;
+  inst.block_len = block_len;
+  inst.s2 = PermutationStream(n, seed);
+  // S1: another random permutation with a random contiguous block replaced
+  // by copies of the item that led the block. The planted item then occurs
+  // exactly block_len times and nowhere else; all other items occur at most
+  // once — exactly the §4 construction.
+  inst.s1 = PermutationStream(n, seed + 1);
+  Rng rng(Mix64(seed ^ 0xb10cb10cb10cULL));
+  inst.block_start = rng.UniformInt(n - block_len + 1);
+  inst.planted_item = inst.s1[inst.block_start];
+  for (uint64_t t = 0; t < block_len; ++t) {
+    inst.s1[inst.block_start + t] = inst.planted_item;
+  }
+  return inst;
+}
+
+CounterexampleStream MakeCounterexampleStream(uint64_t n, uint64_t seed) {
+  CounterexampleStream out;
+  const uint64_t num_blocks =
+      static_cast<uint64_t>(std::floor(std::sqrt(static_cast<double>(n))));
+  const uint64_t block_size = num_blocks;  // sqrt(n) blocks of sqrt(n)
+  const uint64_t q4 = static_cast<uint64_t>(
+      std::floor(std::pow(static_cast<double>(n), 0.25)));
+  const uint64_t q8 = static_cast<uint64_t>(
+      std::floor(std::pow(static_cast<double>(n), 0.125)));
+
+  out.heavy_item = 0;
+  out.first_pseudo_heavy = 1;
+  out.pseudo_heavy_frequency = q4;
+
+  // Special blocks are spaced q8+1 apart so each is followed by q8 blocks
+  // carrying the heavy hitter; everything fits because
+  // q4 * (q8 + 1) ~ n^{3/8} + n^{1/4} <= sqrt(n).
+  const uint64_t stride = q8 + 1;
+  uint64_t num_special = q4;
+  while (num_special > 0 && (num_special - 1) * stride >= num_blocks) {
+    --num_special;
+  }
+  out.pseudo_heavy_count = num_special * q4;
+
+  Rng rng(Mix64(seed ^ 0xc0de5eedULL));
+  Item next_pseudo = out.first_pseudo_heavy;
+  Item next_light = out.first_pseudo_heavy + num_special * q4;
+
+  out.stream.reserve(num_blocks * block_size);
+  uint64_t heavy_emitted = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    const bool is_special = (b % stride == 0) && (b / stride < num_special);
+    const bool after_special =
+        !is_special && (b % stride <= q8) && (b / stride < num_special);
+    std::vector<Item> block;
+    block.reserve(block_size);
+    if (is_special) {
+      // q4 pseudo-heavy items, each repeated q4 times, in contiguous runs
+      // (the paper's "items of each coordinate arrive together").
+      for (uint64_t i = 0; i < q4; ++i, ++next_pseudo) {
+        for (uint64_t c = 0; c < q4; ++c) block.push_back(next_pseudo);
+      }
+      while (block.size() < block_size) block.push_back(next_light++);
+    } else if (after_special) {
+      for (uint64_t c = 0; c < q8; ++c) block.push_back(out.heavy_item);
+      heavy_emitted += q8;
+      while (block.size() < block_size) block.push_back(next_light++);
+      // Scatter the heavy occurrences within the block.
+      for (size_t i = block.size(); i > 1; --i) {
+        std::swap(block[i - 1], block[rng.UniformInt(i)]);
+      }
+    } else {
+      while (block.size() < block_size) block.push_back(next_light++);
+    }
+    out.stream.insert(out.stream.end(), block.begin(), block.end());
+  }
+  out.heavy_frequency = heavy_emitted;
+  out.universe = next_light;
+  return out;
+}
+
+}  // namespace fewstate

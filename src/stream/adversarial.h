@@ -1,0 +1,64 @@
+#ifndef FEWSTATE_STREAM_ADVERSARIAL_H_
+#define FEWSTATE_STREAM_ADVERSARIAL_H_
+
+#include <cstdint>
+
+#include "common/stream_types.h"
+
+namespace fewstate {
+
+/// \brief The lower-bound instance pair of Theorems 1.2 / 1.4 (§4).
+///
+/// Both streams have length n over universe [n]. S2 is a random
+/// permutation (Fp = n, no heavy hitter). S1 equals S2 except that a
+/// random contiguous block B of `block_len` positions is replaced by
+/// `block_len` copies of one random item i (Fp ~= 2n for block_len =
+/// n^{1/p}; i is an Lp heavy hitter). Distinguishing the two forces
+/// Omega(n / block_len) state changes.
+struct LowerBoundInstance {
+  Stream s1;              ///< stream with the planted block
+  Stream s2;              ///< plain random permutation
+  Item planted_item = 0;  ///< the repeated item in s1
+  uint64_t block_start = 0;
+  uint64_t block_len = 0;
+};
+
+/// \brief Builds the Theorem 1.2/1.4 instance for universe size `n` and
+/// block length `block_len` (use round(n^{1/p})).
+LowerBoundInstance MakeLowerBoundInstance(uint64_t n, uint64_t block_len,
+                                          uint64_t seed);
+
+/// \brief The §1.4 counterexample stream that defeats smallest-counter
+/// eviction (pick-and-drop style, BO13/BKSV14) but not dyadic-age
+/// maintenance.
+///
+/// sqrt(n) blocks of sqrt(n) updates each:
+///  * blocks w in S = {1..n^{1/4}} are "special": n^{1/4} distinct
+///    pseudo-heavy items, each with total frequency n^{1/4} spread over
+///    the special blocks;
+///  * each of the n^{1/8} blocks following a special block carries
+///    n^{1/8} occurrences of the single true heavy hitter (total frequency
+///    sqrt(n)) plus distinct light items;
+///  * all remaining positions are distinct light items.
+///
+/// F2 = Theta(n); the only L2 heavy hitter (for constant eps < 1) is the
+/// planted item. Local comparisons see pseudo-heavy counters reach
+/// ~n^{1/4} quickly while the heavy hitter gains only n^{1/8} per block —
+/// so globally-smallest eviction drops it.
+struct CounterexampleStream {
+  Stream stream;
+  uint64_t universe = 0;        ///< smallest upper bound on item ids + 1
+  Item heavy_item = 0;          ///< the true L2 heavy hitter
+  uint64_t heavy_frequency = 0; ///< ~ sqrt(n)
+  uint64_t pseudo_heavy_count = 0;
+  uint64_t pseudo_heavy_frequency = 0;  ///< ~ n^{1/4}
+  Item first_pseudo_heavy = 0;  ///< pseudo-heavy ids are contiguous from here
+};
+
+/// \brief Builds the §1.4 counterexample for a (perfect fourth power
+/// recommended) universe size `n`.
+CounterexampleStream MakeCounterexampleStream(uint64_t n, uint64_t seed);
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_STREAM_ADVERSARIAL_H_

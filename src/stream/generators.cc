@@ -1,0 +1,116 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fewstate {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s, uint64_t seed)
+    : rng_(Mix64(seed ^ 0x21f0c4e1d2b3a495ULL)) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+Item ZipfGenerator::Next() {
+  const double u = rng_.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<Item>(it - cdf_.begin());
+}
+
+Stream ZipfGenerator::Generate(uint64_t m) {
+  Stream stream;
+  stream.reserve(m);
+  for (uint64_t t = 0; t < m; ++t) stream.push_back(Next());
+  return stream;
+}
+
+Stream UniformStream(uint64_t n, uint64_t m, uint64_t seed) {
+  Rng rng(Mix64(seed ^ 0x7d3f2a1b4c5e6f80ULL));
+  Stream stream;
+  stream.reserve(m);
+  for (uint64_t t = 0; t < m; ++t) stream.push_back(rng.UniformInt(n));
+  return stream;
+}
+
+Stream ZipfStream(uint64_t n, double s, uint64_t m, uint64_t seed) {
+  return ZipfGenerator(n, s, seed).Generate(m);
+}
+
+Stream PermutationStream(uint64_t n, uint64_t seed) {
+  Stream stream(n);
+  for (uint64_t i = 0; i < n; ++i) stream[i] = i;
+  ShuffleStream(&stream, seed);
+  return stream;
+}
+
+Stream StreamFromFrequencies(const std::vector<uint64_t>& freqs,
+                             uint64_t seed) {
+  Stream stream;
+  uint64_t total = 0;
+  for (uint64_t f : freqs) total += f;
+  stream.reserve(total);
+  for (size_t j = 0; j < freqs.size(); ++j) {
+    for (uint64_t c = 0; c < freqs[j]; ++c) {
+      stream.push_back(static_cast<Item>(j));
+    }
+  }
+  ShuffleStream(&stream, seed);
+  return stream;
+}
+
+Stream SparseStream(uint64_t n, uint64_t k, uint64_t repeats, uint64_t seed) {
+  Rng rng(Mix64(seed ^ 0x5fa3c2e1d0b49687ULL));
+  // Choose k distinct support items by rejection (k << n in all uses).
+  std::vector<Item> support;
+  support.reserve(k);
+  while (support.size() < k) {
+    const Item candidate = rng.UniformInt(n);
+    if (std::find(support.begin(), support.end(), candidate) ==
+        support.end()) {
+      support.push_back(candidate);
+    }
+  }
+  Stream stream;
+  stream.reserve(k * repeats);
+  for (Item j : support) {
+    for (uint64_t c = 0; c < repeats; ++c) stream.push_back(j);
+  }
+  ShuffleStream(&stream, seed + 1);
+  return stream;
+}
+
+Stream PlantedHeavyHitterStream(uint64_t n, uint64_t m, Item heavy_item,
+                                uint64_t heavy_count, uint64_t seed) {
+  Stream stream;
+  stream.reserve(m);
+  for (uint64_t c = 0; c < heavy_count && c < m; ++c) {
+    stream.push_back(heavy_item);
+  }
+  // Fill the remainder with light items, skipping the heavy id (also
+  // after wrapping around the universe).
+  Item next_light = 0;
+  while (stream.size() < m) {
+    if (next_light % n == heavy_item) ++next_light;
+    stream.push_back(next_light % n);
+    ++next_light;
+  }
+  ShuffleStream(&stream, seed);
+  return stream;
+}
+
+void ShuffleStream(Stream* stream, uint64_t seed) {
+  Rng rng(Mix64(seed ^ 0x3c6ef372fe94f82aULL));
+  for (size_t i = stream->size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.UniformInt(i));
+    std::swap((*stream)[i - 1], (*stream)[j]);
+  }
+}
+
+}  // namespace fewstate

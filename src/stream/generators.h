@@ -1,0 +1,63 @@
+#ifndef FEWSTATE_STREAM_GENERATORS_H_
+#define FEWSTATE_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stream_types.h"
+
+namespace fewstate {
+
+/// \brief Zipf(s) sampler over universe [0, n): P(i) proportional to
+/// 1/(i+1)^s. Uses an inverse-CDF table (O(n) setup, O(log n) per draw).
+///
+/// Zipfian streams are the canonical skewed workload for heavy hitters
+/// (network flows, query logs — the paper's intro applications).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s, uint64_t seed);
+
+  /// \brief Draws one item.
+  Item Next();
+
+  /// \brief Draws a stream of `m` items.
+  Stream Generate(uint64_t m);
+
+ private:
+  std::vector<double> cdf_;
+  Rng rng_;
+};
+
+/// \brief Stream of `m` uniform draws from [0, n).
+Stream UniformStream(uint64_t n, uint64_t m, uint64_t seed);
+
+/// \brief Zipf(s) stream of length m over [0, n).
+Stream ZipfStream(uint64_t n, double s, uint64_t m, uint64_t seed);
+
+/// \brief A uniformly random permutation of [0, n): every item exactly
+/// once (the "all distinct" regime; Fp = n).
+Stream PermutationStream(uint64_t n, uint64_t seed);
+
+/// \brief Stream realising an explicit frequency vector: item j appears
+/// `freqs[j]` times, in randomly shuffled order.
+Stream StreamFromFrequencies(const std::vector<uint64_t>& freqs,
+                             uint64_t seed);
+
+/// \brief k-sparse stream: `k` distinct items (chosen at random from
+/// [0, n)) each repeated `repeats` times, shuffled. The sparse-recovery
+/// workload.
+Stream SparseStream(uint64_t n, uint64_t k, uint64_t repeats, uint64_t seed);
+
+/// \brief One planted heavy hitter of frequency `heavy_count` amid
+/// `m - heavy_count` distinct light items (frequency 1 each), shuffled.
+/// Universe is [0, n) with the heavy item at id 0-based `heavy_item`.
+Stream PlantedHeavyHitterStream(uint64_t n, uint64_t m, Item heavy_item,
+                                uint64_t heavy_count, uint64_t seed);
+
+/// \brief In-place Fisher–Yates shuffle with the library Rng.
+void ShuffleStream(Stream* stream, uint64_t seed);
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_STREAM_GENERATORS_H_

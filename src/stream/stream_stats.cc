@@ -1,0 +1,60 @@
+#include "stream/stream_stats.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace fewstate {
+
+StreamStats::StreamStats(const Stream& stream) {
+  for (Item item : stream) {
+    const uint64_t f = ++freqs_[item];
+    if (f > max_frequency_) max_frequency_ = f;
+  }
+  length_ = stream.size();
+}
+
+uint64_t StreamStats::Frequency(Item item) const {
+  auto it = freqs_.find(item);
+  return it == freqs_.end() ? 0 : it->second;
+}
+
+double StreamStats::Fp(double p) const {
+  if (p == 0.0) return static_cast<double>(freqs_.size());
+  double total = 0.0;
+  for (const auto& [item, f] : freqs_) {
+    total += PowP(static_cast<double>(f), p);
+  }
+  return total;
+}
+
+double StreamStats::Lp(double p) const { return std::pow(Fp(p), 1.0 / p); }
+
+double StreamStats::ShannonEntropy() const {
+  if (length_ == 0) return 0.0;
+  const double m = static_cast<double>(length_);
+  double h = 0.0;
+  for (const auto& [item, f] : freqs_) {
+    const double q = static_cast<double>(f) / m;
+    h -= q * std::log2(q);
+  }
+  return h;
+}
+
+std::vector<Item> StreamStats::ItemsAbove(double threshold) const {
+  std::vector<Item> out;
+  for (const auto& [item, f] : freqs_) {
+    if (static_cast<double>(f) >= threshold) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<Item> StreamStats::LpHeavyHitters(double p, double eps) const {
+  return ItemsAbove(eps * Lp(p));
+}
+
+double RelativeError(double estimate, double truth) {
+  return std::fabs(estimate - truth) / truth;
+}
+
+}  // namespace fewstate

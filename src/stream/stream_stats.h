@@ -1,0 +1,63 @@
+#ifndef FEWSTATE_STREAM_STREAM_STATS_H_
+#define FEWSTATE_STREAM_STREAM_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stream_types.h"
+
+namespace fewstate {
+
+/// \brief Exact (offline) statistics of a stream — the oracle that tests
+/// and benchmarks compare estimators against.
+class StreamStats {
+ public:
+  /// \brief Computes exact frequencies in one pass.
+  explicit StreamStats(const Stream& stream);
+
+  /// \brief Exact frequency of `item`.
+  uint64_t Frequency(Item item) const;
+
+  /// \brief Exact Fp = sum_j f_j^p (any real p > 0; F0 counts distinct).
+  double Fp(double p) const;
+
+  /// \brief Exact Lp norm = Fp^{1/p}.
+  double Lp(double p) const;
+
+  /// \brief Exact Shannon entropy (base 2) of the empirical distribution
+  /// f / m: H = -sum_j (f_j/m) log2(f_j/m).
+  double ShannonEntropy() const;
+
+  /// \brief All items with f_j >= threshold.
+  std::vector<Item> ItemsAbove(double threshold) const;
+
+  /// \brief All Lp heavy hitters: items with f_j >= eps * ||f||_p.
+  std::vector<Item> LpHeavyHitters(double p, double eps) const;
+
+  /// \brief Stream length m.
+  uint64_t length() const { return length_; }
+
+  /// \brief Number of distinct items.
+  uint64_t distinct() const { return freqs_.size(); }
+
+  /// \brief Largest single frequency.
+  uint64_t max_frequency() const { return max_frequency_; }
+
+  /// \brief Underlying frequency table.
+  const std::unordered_map<Item, uint64_t>& frequencies() const {
+    return freqs_;
+  }
+
+ private:
+  std::unordered_map<Item, uint64_t> freqs_;
+  uint64_t length_ = 0;
+  uint64_t max_frequency_ = 0;
+};
+
+/// \brief Relative error |est - truth| / truth (truth > 0).
+double RelativeError(double estimate, double truth);
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_STREAM_STREAM_STATS_H_

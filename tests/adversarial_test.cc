@@ -1,0 +1,113 @@
+#include "stream/adversarial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/stream_stats.h"
+
+namespace fewstate {
+namespace {
+
+TEST(LowerBoundInstance, S1HasThePlantedBlockAndNothingElseRepeats) {
+  const uint64_t n = 4096;
+  const uint64_t block = 64;  // n^{1/2}
+  const LowerBoundInstance inst = MakeLowerBoundInstance(n, block, 5);
+  ASSERT_EQ(inst.s1.size(), n);
+  const StreamStats stats(inst.s1);
+  EXPECT_EQ(stats.Frequency(inst.planted_item), block);
+  for (const auto& [item, f] : stats.frequencies()) {
+    if (item != inst.planted_item) EXPECT_EQ(f, 1u);
+  }
+  // The block is contiguous.
+  for (uint64_t t = 0; t < block; ++t) {
+    EXPECT_EQ(inst.s1[inst.block_start + t], inst.planted_item);
+  }
+}
+
+TEST(LowerBoundInstance, S2IsAPermutation) {
+  const LowerBoundInstance inst = MakeLowerBoundInstance(4096, 64, 6);
+  const StreamStats stats(inst.s2);
+  EXPECT_EQ(stats.distinct(), 4096u);
+  EXPECT_EQ(stats.max_frequency(), 1u);
+}
+
+TEST(LowerBoundInstance, MomentGapMatchesTheorem14) {
+  // Fp(S1) = 2n - n^{1/p}, Fp(S2) = n (§4).
+  const uint64_t n = 4096;
+  const uint64_t block = 64;
+  const LowerBoundInstance inst = MakeLowerBoundInstance(n, block, 7);
+  const StreamStats s1(inst.s1), s2(inst.s2);
+  EXPECT_DOUBLE_EQ(s2.Fp(2.0), static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(s1.Fp(2.0), static_cast<double>(2 * n - block));
+}
+
+TEST(LowerBoundInstance, BlockLengthIsClamped) {
+  const LowerBoundInstance inst = MakeLowerBoundInstance(100, 1000, 8);
+  EXPECT_EQ(inst.block_len, 100u);
+  const LowerBoundInstance inst2 = MakeLowerBoundInstance(100, 0, 9);
+  EXPECT_EQ(inst2.block_len, 1u);
+}
+
+TEST(CounterexampleStream, MatchesSection14Structure) {
+  const uint64_t n = 1 << 16;
+  const CounterexampleStream cx = MakeCounterexampleStream(n, 10);
+  const StreamStats stats(cx.stream);
+
+  // Stream length ~ n (sqrt(n) blocks of sqrt(n)).
+  EXPECT_EQ(cx.stream.size(), n);
+
+  // The heavy item's frequency is ~sqrt(n).
+  EXPECT_EQ(stats.Frequency(cx.heavy_item), cx.heavy_frequency);
+  EXPECT_NEAR(static_cast<double>(cx.heavy_frequency),
+              std::sqrt(static_cast<double>(n)),
+              0.5 * std::sqrt(static_cast<double>(n)));
+
+  // Pseudo-heavy items have frequency ~n^{1/4} each.
+  const uint64_t q4 = static_cast<uint64_t>(
+      std::floor(std::pow(static_cast<double>(n), 0.25)));
+  EXPECT_EQ(cx.pseudo_heavy_frequency, q4);
+  for (uint64_t i = 0; i < cx.pseudo_heavy_count; ++i) {
+    EXPECT_EQ(stats.Frequency(cx.first_pseudo_heavy + i), q4)
+        << "pseudo-heavy " << i;
+  }
+}
+
+TEST(CounterexampleStream, F2IsThetaNAndOnlyHeavyItemIsL2Heavy) {
+  const uint64_t n = 1 << 16;
+  const CounterexampleStream cx = MakeCounterexampleStream(n, 11);
+  const StreamStats stats(cx.stream);
+  const double f2 = stats.Fp(2.0);
+  EXPECT_GT(f2, static_cast<double>(n));
+  EXPECT_LT(f2, 4.0 * static_cast<double>(n));
+  // With eps = 0.5 the only L2 heavy hitter is the planted item.
+  const auto heavy = stats.LpHeavyHitters(2.0, 0.5);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0], cx.heavy_item);
+}
+
+TEST(CounterexampleStream, PseudoHeavyArriveInContiguousRuns) {
+  // Within a special block, each pseudo-heavy item's occurrences are
+  // contiguous ("items of each coordinate arrive together").
+  const uint64_t n = 1 << 12;
+  const CounterexampleStream cx = MakeCounterexampleStream(n, 12);
+  // Find the first pseudo-heavy item's run.
+  const Item target = cx.first_pseudo_heavy;
+  size_t first = cx.stream.size(), last = 0;
+  for (size_t t = 0; t < cx.stream.size(); ++t) {
+    if (cx.stream[t] == target) {
+      first = std::min(first, t);
+      last = std::max(last, t);
+    }
+  }
+  ASSERT_LT(first, cx.stream.size());
+  EXPECT_EQ(last - first + 1, cx.pseudo_heavy_frequency);
+}
+
+TEST(CounterexampleStream, UniverseBoundCoversAllIds) {
+  const CounterexampleStream cx = MakeCounterexampleStream(1 << 14, 13);
+  for (Item item : cx.stream) EXPECT_LT(item, cx.universe);
+}
+
+}  // namespace
+}  // namespace fewstate

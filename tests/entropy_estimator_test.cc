@@ -1,0 +1,138 @@
+#include "core/entropy_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/generators.h"
+#include "stream/stream_stats.h"
+
+namespace fewstate {
+namespace {
+
+EntropyEstimatorOptions BaseOptions(uint64_t n, uint64_t m,
+                                    uint64_t seed = 1) {
+  EntropyEstimatorOptions options;
+  options.universe = n;
+  options.stream_length_hint = m;
+  options.eps = 0.3;
+  options.seed = seed;
+  return options;
+}
+
+TEST(EntropyEstimatorOptions, Validation) {
+  EntropyEstimatorOptions options = BaseOptions(100, 1000);
+  EXPECT_TRUE(options.Validate().ok());
+  options.stream_length_hint = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = BaseOptions(100, 1000);
+  options.degree = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = BaseOptions(100, 1000);
+  options.eps = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(EntropyEstimator, CreateFactory) {
+  std::unique_ptr<EntropyEstimator> alg;
+  EXPECT_TRUE(EntropyEstimator::Create(BaseOptions(100, 1000), &alg).ok());
+  ASSERT_NE(alg, nullptr);
+}
+
+TEST(EntropyEstimator, NodesClusterAroundOne) {
+  EntropyEstimator alg(BaseOptions(1000, 100000));
+  ASSERT_GE(alg.nodes().size(), 3u);
+  for (double p : alg.nodes()) {
+    EXPECT_GT(p, 0.5);
+    EXPECT_LT(p, 1.5);
+  }
+}
+
+TEST(EntropyEstimator, Hno08NodesMatchLemma37) {
+  EntropyEstimatorOptions options = BaseOptions(1000, 100000);
+  options.use_hno08_nodes = true;
+  options.degree = 4;
+  EntropyEstimator alg(options);
+  const double ell = 1.0 / (2.0 * 5 * std::log2(100000.0));
+  for (double p : alg.nodes()) {
+    EXPECT_GT(p, 1.0 - ell - 1e-12);
+    EXPECT_LE(p, 1.0 + ell + 1e-12);
+    EXPECT_NE(p, 1.0);
+  }
+}
+
+TEST(EntropyEstimator, OrdersDistributionsBySkew) {
+  // Entropy(uniform) > entropy(zipf 1.2) > entropy(near-degenerate); the
+  // estimator must preserve the ordering even if absolute errors are
+  // eps-scale.
+  const uint64_t n = 2000, m = 30000;
+  auto estimate = [&](const Stream& stream) {
+    EntropyEstimator alg(BaseOptions(n, m, 5));
+    alg.Consume(stream);
+    return alg.EstimateEntropy();
+  };
+  const double h_uniform = estimate(UniformStream(n, m, 6));
+  const double h_zipf = estimate(ZipfStream(n, 1.2, m, 7));
+  std::vector<uint64_t> freqs(n, 0);
+  freqs[0] = m - n + 1;
+  for (uint64_t j = 1; j < n; ++j) freqs[j] = 1;
+  const double h_degenerate = estimate(StreamFromFrequencies(freqs, 8));
+  EXPECT_GT(h_uniform, h_zipf);
+  EXPECT_GT(h_zipf, h_degenerate);
+}
+
+TEST(EntropyEstimator, AdditiveErrorIsBounded) {
+  const uint64_t n = 2000, m = 30000;
+  struct Case {
+    Stream stream;
+    const char* name;
+  };
+  std::vector<Case> cases;
+  cases.push_back({UniformStream(n, m, 9), "uniform"});
+  cases.push_back({ZipfStream(n, 1.0, m, 10), "zipf1.0"});
+  cases.push_back({ZipfStream(n, 1.5, m, 11), "zipf1.5"});
+  for (const Case& c : cases) {
+    const StreamStats oracle(c.stream);
+    EntropyEstimator alg(BaseOptions(n, m, 12));
+    alg.Consume(c.stream);
+    // Laptop-scale tolerance: ~1.5 bits (see EXPERIMENTS.md for measured
+    // errors, typically well under 1 bit).
+    EXPECT_NEAR(alg.EstimateEntropy(), oracle.ShannonEntropy(), 1.5)
+        << c.name;
+  }
+}
+
+TEST(EntropyEstimator, EstimateIsClampedToValidRange) {
+  const uint64_t n = 100, m = 1000;
+  EntropyEstimator alg(BaseOptions(n, m, 13));
+  Stream constant(m, 7);
+  alg.Consume(constant);
+  const double h = alg.EstimateEntropy();
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, std::log2(static_cast<double>(n)) + 1e-9);
+}
+
+TEST(EntropyEstimator, StateChangesAreSublinear) {
+  const uint64_t n = 2000, m = 100000;
+  EntropyEstimatorOptions options = BaseOptions(n, m, 14);
+  options.rows = 24;  // keep the test fast
+  EntropyEstimator alg(options);
+  alg.Consume(ZipfStream(n, 1.2, m, 15));
+  EXPECT_LT(alg.accountant().state_changes(), m);
+  EXPECT_GT(alg.accountant().state_changes(), 0u);
+}
+
+TEST(EntropyEstimator, NodeMomentsBracketF1) {
+  // Nodes live in [1 - span, 1 + span], so node moments bracket F1 = m
+  // within a few powers of the span-scaled frequencies.
+  const uint64_t n = 1000, m = 20000;
+  EntropyEstimator alg(BaseOptions(n, m, 16));
+  alg.Consume(ZipfStream(n, 1.1, m, 17));
+  for (double fp : alg.NodeMomentEstimates()) {
+    EXPECT_GT(fp, 0.005 * m);
+    EXPECT_LT(fp, 200.0 * m);
+  }
+}
+
+}  // namespace
+}  // namespace fewstate

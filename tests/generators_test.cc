@@ -1,0 +1,111 @@
+#include "stream/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "stream/stream_stats.h"
+
+namespace fewstate {
+namespace {
+
+TEST(ZipfGenerator, ItemsInRangeAndDeterministic) {
+  ZipfGenerator g1(100, 1.2, 7), g2(100, 1.2, 7);
+  for (int i = 0; i < 1000; ++i) {
+    Item a = g1.Next();
+    EXPECT_LT(a, 100u);
+    EXPECT_EQ(a, g2.Next());
+  }
+}
+
+TEST(ZipfGenerator, LowRanksDominate) {
+  const Stream stream = ZipfStream(1000, 1.5, 50000, 8);
+  const StreamStats stats(stream);
+  EXPECT_GT(stats.Frequency(0), stats.Frequency(10));
+  EXPECT_GT(stats.Frequency(0), stream.size() / 10);
+}
+
+TEST(ZipfGenerator, SkewParameterControlsHeadMass) {
+  const StreamStats flat(ZipfStream(1000, 0.5, 50000, 9));
+  const StreamStats skewed(ZipfStream(1000, 2.0, 50000, 9));
+  EXPECT_LT(flat.Frequency(0), skewed.Frequency(0));
+}
+
+TEST(UniformStream, CoversRangeEvenly) {
+  const Stream stream = UniformStream(100, 50000, 10);
+  const StreamStats stats(stream);
+  EXPECT_EQ(stream.size(), 50000u);
+  for (Item j = 0; j < 100; ++j) {
+    EXPECT_NEAR(static_cast<double>(stats.Frequency(j)), 500.0, 150.0);
+  }
+}
+
+TEST(PermutationStream, EachItemExactlyOnce) {
+  const Stream stream = PermutationStream(5000, 11);
+  EXPECT_EQ(stream.size(), 5000u);
+  std::set<Item> seen(stream.begin(), stream.end());
+  EXPECT_EQ(seen.size(), 5000u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 4999u);
+}
+
+TEST(PermutationStream, DifferentSeedsDifferentOrders) {
+  const Stream a = PermutationStream(1000, 12);
+  const Stream b = PermutationStream(1000, 13);
+  EXPECT_NE(a, b);
+}
+
+TEST(StreamFromFrequencies, RealisesExactCounts) {
+  std::vector<uint64_t> freqs = {3, 0, 5, 1};
+  const Stream stream = StreamFromFrequencies(freqs, 14);
+  const StreamStats stats(stream);
+  EXPECT_EQ(stream.size(), 9u);
+  EXPECT_EQ(stats.Frequency(0), 3u);
+  EXPECT_EQ(stats.Frequency(1), 0u);
+  EXPECT_EQ(stats.Frequency(2), 5u);
+  EXPECT_EQ(stats.Frequency(3), 1u);
+}
+
+TEST(SparseStream, ExactlyKDistinctItemsWithEqualCounts) {
+  const Stream stream = SparseStream(100000, 12, 50, 15);
+  const StreamStats stats(stream);
+  EXPECT_EQ(stats.distinct(), 12u);
+  EXPECT_EQ(stream.size(), 600u);
+  for (const auto& [item, f] : stats.frequencies()) {
+    EXPECT_EQ(f, 50u);
+    EXPECT_LT(item, 100000u);
+  }
+}
+
+TEST(PlantedHeavyHitterStream, PlantsTheRightFrequency) {
+  const Stream stream = PlantedHeavyHitterStream(10000, 20000, 123, 5000, 16);
+  const StreamStats stats(stream);
+  EXPECT_EQ(stream.size(), 20000u);
+  EXPECT_EQ(stats.Frequency(123), 5000u);
+  // Everything else is light.
+  for (const auto& [item, f] : stats.frequencies()) {
+    if (item != 123) EXPECT_LE(f, 3u);
+  }
+}
+
+TEST(ShuffleStream, IsAPermutationOfTheInput) {
+  Stream original = {1, 2, 3, 4, 5, 6, 7, 8};
+  Stream shuffled = original;
+  ShuffleStream(&shuffled, 17);
+  auto a = original, b = shuffled;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShuffleStream, DeterministicPerSeed) {
+  Stream a = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Stream b = a;
+  ShuffleStream(&a, 18);
+  ShuffleStream(&b, 18);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fewstate

@@ -1,0 +1,145 @@
+#include "common/hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace fewstate {
+namespace {
+
+TEST(PolynomialHash, DeterministicPerSeed) {
+  PolynomialHash h1(4, 77), h2(4, 77), h3(4, 78);
+  int diff = 0;
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(h1.Hash(x), h2.Hash(x));
+    diff += (h1.Hash(x) != h3.Hash(x));
+  }
+  EXPECT_GT(diff, 90);
+}
+
+TEST(PolynomialHash, OutputsBelowPrime) {
+  PolynomialHash h(8, 5);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_LT(h.Hash(x), PolynomialHash::kPrime);
+  }
+}
+
+TEST(PolynomialHash, HashRangeRespectsBound) {
+  PolynomialHash h(2, 9);
+  for (uint64_t range : {1ULL, 3ULL, 100ULL, 1ULL << 30}) {
+    for (uint64_t x = 0; x < 300; ++x) {
+      EXPECT_LT(h.HashRange(x, range), range);
+    }
+  }
+}
+
+TEST(PolynomialHash, HashRangeIsRoughlyUniform) {
+  PolynomialHash h(2, 10);
+  const uint64_t kRange = 16;
+  std::vector<int> counts(kRange, 0);
+  const int kDraws = 32000;
+  for (int x = 0; x < kDraws; ++x) ++counts[h.HashRange(x, kRange)];
+  const double expected = static_cast<double>(kDraws) / kRange;
+  for (uint64_t b = 0; b < kRange; ++b) {
+    EXPECT_NEAR(counts[b], expected, 6 * std::sqrt(expected)) << "bucket " << b;
+  }
+}
+
+TEST(PolynomialHash, HashUnitInUnitInterval) {
+  PolynomialHash h(4, 11);
+  double sum = 0;
+  const int kDraws = 20000;
+  for (int x = 0; x < kDraws; ++x) {
+    double u = h.HashUnit(x);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(PolynomialHash, SignsAreBalanced) {
+  PolynomialHash h(4, 12);
+  int plus = 0;
+  const int kDraws = 40000;
+  for (int x = 0; x < kDraws; ++x) {
+    int s = h.HashSign(x);
+    ASSERT_TRUE(s == 1 || s == -1);
+    plus += (s == 1);
+  }
+  EXPECT_NEAR(static_cast<double>(plus) / kDraws, 0.5, 0.02);
+}
+
+TEST(PolynomialHash, SignsOfPairsDecorrelated) {
+  // 4-wise independence implies pairwise sign products average to ~0.
+  PolynomialHash h(4, 13);
+  double dot = 0;
+  const int kDraws = 40000;
+  for (int x = 0; x < kDraws; ++x) {
+    dot += h.HashSign(2 * x) * h.HashSign(2 * x + 1);
+  }
+  EXPECT_NEAR(dot / kDraws, 0.0, 0.02);
+}
+
+TEST(PolynomialHash, GeometricLevelDistributionAndCap) {
+  PolynomialHash h(4, 14);
+  const int kMax = 10;
+  const int kDraws = 100000;
+  std::vector<int> at_least(kMax + 1, 0);
+  for (int x = 0; x < kDraws; ++x) {
+    int level = h.GeometricLevel(x, kMax);
+    ASSERT_GE(level, 0);
+    ASSERT_LE(level, kMax);
+    for (int k = 0; k <= level; ++k) ++at_least[k];
+  }
+  for (int k = 1; k <= 6; ++k) {
+    const double expected = std::pow(2.0, -k);
+    EXPECT_NEAR(static_cast<double>(at_least[k]) / kDraws, expected,
+                5 * std::sqrt(expected / kDraws) + 0.001);
+  }
+}
+
+TEST(PolynomialHash, GeometricLevelIsNestedByConstruction) {
+  // An item's level fully determines membership at every depth: member of
+  // level l iff level >= l. Re-deriving membership twice must agree.
+  PolynomialHash h(4, 15);
+  for (uint64_t x = 0; x < 2000; ++x) {
+    const int level = h.GeometricLevel(x, 20);
+    EXPECT_EQ(level, h.GeometricLevel(x, 20));
+    // Monotone in the cap.
+    EXPECT_LE(h.GeometricLevel(x, 3), 3);
+    EXPECT_EQ(std::min(level, 3), h.GeometricLevel(x, 3));
+  }
+}
+
+TEST(TabulationHash, DeterministicAndSpread) {
+  TabulationHash h1(99), h2(99), h3(100);
+  std::set<uint64_t> values;
+  int diff = 0;
+  for (uint64_t x = 0; x < 500; ++x) {
+    EXPECT_EQ(h1.Hash(x), h2.Hash(x));
+    diff += (h1.Hash(x) != h3.Hash(x));
+    values.insert(h1.Hash(x));
+  }
+  EXPECT_EQ(values.size(), 500u);  // no collisions expected in 2^64
+  EXPECT_GT(diff, 490);
+}
+
+TEST(TabulationHash, RangeAndUnit) {
+  TabulationHash h(101);
+  double sum = 0;
+  const int kDraws = 20000;
+  for (int x = 0; x < kDraws; ++x) {
+    EXPECT_LT(h.HashRange(x, 37), 37u);
+    double u = h.HashUnit(x);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace fewstate

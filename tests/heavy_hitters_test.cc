@@ -1,0 +1,121 @@
+#include "core/heavy_hitters.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/generators.h"
+#include "stream/stream_stats.h"
+
+namespace fewstate {
+namespace {
+
+HeavyHittersOptions BaseOptions(uint64_t n, uint64_t m, double eps = 0.2,
+                                uint64_t seed = 1) {
+  HeavyHittersOptions options;
+  options.universe = n;
+  options.stream_length_hint = m;
+  options.p = 2.0;
+  options.eps = eps;
+  options.seed = seed;
+  return options;
+}
+
+TEST(HeavyHittersOptions, Validation) {
+  HeavyHittersOptions options = BaseOptions(100, 100);
+  EXPECT_TRUE(options.Validate().ok());
+  options.eps = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = BaseOptions(100, 100);
+  options.repetitions = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(LpHeavyHitters, CreateFactory) {
+  std::unique_ptr<LpHeavyHitters> alg;
+  EXPECT_TRUE(LpHeavyHitters::Create(BaseOptions(100, 100), &alg).ok());
+  ASSERT_NE(alg, nullptr);
+}
+
+TEST(LpHeavyHitters, NormEstimateIsATwoApproximation) {
+  const uint64_t n = 5000, m = 50000;
+  const Stream stream = ZipfStream(n, 1.3, m, 2);
+  const StreamStats oracle(stream);
+  LpHeavyHitters alg(BaseOptions(n, m, 0.2, 3));
+  alg.Consume(stream);
+  const double ratio = alg.EstimateLpNorm() / oracle.Lp(2.0);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(LpHeavyHitters, ReportsAllTrueHeavyHitters) {
+  const uint64_t n = 5000, m = 100000;
+  const double eps = 0.2;
+  int all_found = 0;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const Stream stream = ZipfStream(n, 1.5, m, 10 + seed);
+    const StreamStats oracle(stream);
+    LpHeavyHitters alg(BaseOptions(n, m, eps, 20 + seed));
+    alg.Consume(stream);
+    const auto reported = alg.HeavyHitters();
+    bool ok = true;
+    for (Item truth : oracle.LpHeavyHitters(2.0, eps)) {
+      bool found = false;
+      for (const HeavyHitter& hh : reported) found |= (hh.item == truth);
+      ok &= found;
+    }
+    all_found += ok;
+  }
+  EXPECT_GE(all_found, 2);  // 2/3-probability guarantee, 3 seeds
+}
+
+TEST(LpHeavyHitters, DoesNotReportVeryLightItems) {
+  const uint64_t n = 5000, m = 100000;
+  const double eps = 0.2;
+  const Stream stream = ZipfStream(n, 1.5, m, 30);
+  const StreamStats oracle(stream);
+  LpHeavyHitters alg(BaseOptions(n, m, eps, 31));
+  alg.Consume(stream);
+  // Nothing below (eps/8)||f||_2 may be reported (theorem allows eps/4;
+  // the extra factor 2 absorbs the norm approximation).
+  const double floor = (eps / 8.0) * oracle.Lp(2.0);
+  for (const HeavyHitter& hh : alg.HeavyHitters()) {
+    EXPECT_GE(static_cast<double>(oracle.Frequency(hh.item)), floor)
+        << "item " << hh.item;
+  }
+}
+
+TEST(LpHeavyHitters, FrequencyEstimatesWithinAdditiveBound) {
+  const uint64_t n = 5000, m = 100000;
+  const double eps = 0.25;
+  const Stream stream = ZipfStream(n, 1.4, m, 32);
+  const StreamStats oracle(stream);
+  LpHeavyHitters alg(BaseOptions(n, m, eps, 33));
+  alg.Consume(stream);
+  const double bound = 0.75 * eps * oracle.Lp(2.0);  // eps/2 + slack
+  for (Item truth : oracle.LpHeavyHitters(2.0, eps)) {
+    const double est = alg.EstimateFrequency(truth);
+    const double f = static_cast<double>(oracle.Frequency(truth));
+    EXPECT_NEAR(est, f, bound + 0.3 * f) << "item " << truth;
+  }
+}
+
+TEST(LpHeavyHitters, ExplicitThresholdBypassesNorm) {
+  const Stream stream = PlantedHeavyHitterStream(2000, 40000, 9, 20000, 34);
+  LpHeavyHitters alg(BaseOptions(2000, 40000, 0.2, 35));
+  alg.Consume(stream);
+  const auto reported = alg.HeavyHittersAbove(10000.0);
+  ASSERT_FALSE(reported.empty());
+  bool found = false;
+  for (const HeavyHitter& hh : reported) found |= (hh.item == 9);
+  EXPECT_TRUE(found);
+}
+
+TEST(LpHeavyHitters, SharedAccountantCountsBothStructuresOnce) {
+  const uint64_t n = 1000, m = 10000;
+  LpHeavyHitters alg(BaseOptions(n, m, 0.3, 36));
+  alg.Consume(ZipfStream(n, 1.2, m, 37));
+  EXPECT_EQ(alg.accountant().updates(), m);
+  EXPECT_LE(alg.accountant().state_changes(), m);
+}
+
+}  // namespace
+}  // namespace fewstate

@@ -1,0 +1,178 @@
+#include "counters/morris_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "state/state_accountant.h"
+
+namespace fewstate {
+namespace {
+
+TEST(MorrisCounter, ExactModeCountsExactly) {
+  StateAccountant a;
+  Rng rng(1);
+  MorrisCounter counter(&a, &rng, 0.0);
+  for (int i = 0; i < 1000; ++i) counter.Increment();
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 1000.0);
+  EXPECT_EQ(counter.level_changes(), 1000u);
+}
+
+TEST(MorrisCounter, StartsAtZero) {
+  StateAccountant a;
+  Rng rng(2);
+  MorrisCounter counter(&a, &rng, 0.1);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 0.0);
+  EXPECT_EQ(counter.level(), 0u);
+}
+
+TEST(MorrisCounter, FirstIncrementIsDeterministic) {
+  // At level 0 the advance probability is (1+a)^0 = 1.
+  StateAccountant a;
+  Rng rng(3);
+  MorrisCounter counter(&a, &rng, 0.5);
+  counter.Increment();
+  EXPECT_EQ(counter.level(), 1u);
+  EXPECT_NEAR(counter.Estimate(), 1.0, 1e-9);
+}
+
+TEST(MorrisCounter, UnbiasedAcrossInstances) {
+  const double kA = 0.05;
+  const uint64_t kN = 5000;
+  const int kCounters = 64;
+  StateAccountant a;
+  Rng rng(4);
+  double sum = 0;
+  for (int c = 0; c < kCounters; ++c) {
+    MorrisCounter counter(&a, &rng, kA);
+    for (uint64_t i = 0; i < kN; ++i) counter.Increment();
+    sum += counter.Estimate();
+  }
+  const double mean = sum / kCounters;
+  // Relative sd of the mean ~ sqrt(a/2)/sqrt(kCounters) ~ 2%.
+  EXPECT_NEAR(mean / kN, 1.0, 0.08);
+}
+
+TEST(MorrisCounter, ErrorShrinksWithGrowthParameter) {
+  const uint64_t kN = 20000;
+  const int kCounters = 48;
+  StateAccountant a;
+  Rng rng(5);
+  double err_small_a = 0, err_big_a = 0;
+  for (int c = 0; c < kCounters; ++c) {
+    MorrisCounter fine(&a, &rng, 0.002);
+    MorrisCounter coarse(&a, &rng, 0.5);
+    for (uint64_t i = 0; i < kN; ++i) {
+      fine.Increment();
+      coarse.Increment();
+    }
+    err_small_a += std::fabs(fine.Estimate() - kN) / kN;
+    err_big_a += std::fabs(coarse.Estimate() - kN) / kN;
+  }
+  EXPECT_LT(err_small_a / kCounters, 0.05);
+  EXPECT_LT(err_small_a, err_big_a);
+}
+
+TEST(MorrisCounter, StateChangesAreLogarithmic) {
+  const double kA = 0.05;
+  StateAccountant a;
+  Rng rng(6);
+  MorrisCounter counter(&a, &rng, kA);
+  const uint64_t kN = 100000;
+  for (uint64_t i = 0; i < kN; ++i) counter.Increment();
+  // Expected level ~ log(1 + a n)/log(1 + a) ~ 175; allow generous slack.
+  EXPECT_LT(counter.level_changes(), kN / 50);
+  EXPECT_GT(counter.level_changes(), 20u);
+  // state changes recorded in the accountant match the level changes: no
+  // update epochs were opened, so we check word_writes instead.
+  EXPECT_EQ(a.word_writes(), counter.level_changes());
+}
+
+TEST(MorrisCounter, WeightedAddMatchesUnitIncrements) {
+  // Adding 1.0 repeatedly is distributionally the classic Morris rule.
+  const double kA = 0.1;
+  const int kCounters = 64;
+  const uint64_t kN = 2000;
+  StateAccountant a;
+  Rng rng(7);
+  double sum = 0;
+  for (int c = 0; c < kCounters; ++c) {
+    MorrisCounter counter(&a, &rng, kA);
+    for (uint64_t i = 0; i < kN; ++i) counter.Add(1.0);
+    sum += counter.Estimate();
+  }
+  EXPECT_NEAR(sum / kCounters / kN, 1.0, 0.12);
+}
+
+TEST(MorrisCounter, WeightedAddUnbiasedForFractionalWeights) {
+  const double kA = 0.05;
+  const int kCounters = 64;
+  StateAccountant a;
+  Rng rng(8);
+  double sum = 0;
+  const double kTotal = 1000.0;
+  for (int c = 0; c < kCounters; ++c) {
+    MorrisCounter counter(&a, &rng, kA);
+    double pushed = 0;
+    while (pushed < kTotal) {
+      counter.Add(0.37);
+      pushed += 0.37;
+    }
+    sum += counter.Estimate() / pushed;
+  }
+  EXPECT_NEAR(sum / kCounters, 1.0, 0.1);
+}
+
+TEST(MorrisCounter, LargeSingleAddJumpsInOneWrite) {
+  StateAccountant a;
+  Rng rng(9);
+  MorrisCounter counter(&a, &rng, 0.01);
+  counter.Add(1e6);
+  EXPECT_NEAR(counter.Estimate(), 1e6, 0.02 * 1e6);
+  EXPECT_LE(counter.level_changes(), 1u);
+}
+
+TEST(MorrisCounter, AddZeroOrNegativeIsNoOp) {
+  StateAccountant a;
+  Rng rng(10);
+  MorrisCounter counter(&a, &rng, 0.1);
+  counter.Add(0.0);
+  counter.Add(-5.0);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 0.0);
+  EXPECT_EQ(counter.level_changes(), 0u);
+}
+
+TEST(MorrisCounter, ExactModeWeightedAddStochasticallyRounds) {
+  // a = 0: value(X) = X, so Add(0.5) advances with probability 0.5.
+  StateAccountant a;
+  Rng rng(11);
+  MorrisCounter counter(&a, &rng, 0.0);
+  const int kAdds = 10000;
+  for (int i = 0; i < kAdds; ++i) counter.Add(0.5);
+  EXPECT_NEAR(counter.Estimate() / (0.5 * kAdds), 1.0, 0.06);
+}
+
+TEST(MorrisCounter, GrowthForAccuracyScalesAsEpsSquaredDelta) {
+  EXPECT_DOUBLE_EQ(MorrisCounter::GrowthForAccuracy(0.1, 0.1),
+                   2.0 * 0.01 * 0.1);
+  EXPECT_LT(MorrisCounter::GrowthForAccuracy(0.01, 0.1),
+            MorrisCounter::GrowthForAccuracy(0.1, 0.1));
+}
+
+TEST(MorrisCounter, MonotoneEstimates) {
+  // Estimates never decrease as increments accumulate.
+  StateAccountant a;
+  Rng rng(12);
+  MorrisCounter counter(&a, &rng, 0.2);
+  double last = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    counter.Increment();
+    const double now = counter.Estimate();
+    ASSERT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace fewstate

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "nvm/nvm_adapter.h"
+#include "nvm/nvm_device.h"
+#include "nvm/wear_leveling.h"
+#include "state/state_accountant.h"
+#include "state/write_log.h"
+
+namespace fewstate {
+namespace {
+
+NvmConfig SmallConfig() {
+  NvmConfig config;
+  config.num_cells = 64;
+  config.endurance = 100;
+  return config;
+}
+
+TEST(NvmConfig, ValidationCatchesBadParameters) {
+  NvmConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_cells = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = NvmConfig();
+  config.endurance = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = NvmConfig();
+  config.write_energy_nj = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(NvmDevice, TracksPerCellWear) {
+  NvmDevice device(SmallConfig());
+  device.Write(3);
+  device.Write(3);
+  device.Write(5);
+  EXPECT_EQ(device.total_writes(), 3u);
+  EXPECT_EQ(device.max_cell_wear(), 2u);
+  EXPECT_EQ(device.cell_wear()[3], 2u);
+  EXPECT_EQ(device.cell_wear()[5], 1u);
+}
+
+TEST(NvmDevice, AddressesWrapModuloDeviceSize) {
+  NvmDevice device(SmallConfig());
+  device.Write(64 + 3);  // wraps to cell 3
+  EXPECT_EQ(device.cell_wear()[3], 1u);
+}
+
+TEST(NvmDevice, FailsWhenACellReachesEndurance) {
+  NvmDevice device(SmallConfig());
+  for (int i = 0; i < 99; ++i) device.Write(0);
+  EXPECT_FALSE(device.failed());
+  EXPECT_NEAR(device.lifetime_remaining(), 0.01, 1e-9);
+  device.Write(0);
+  EXPECT_TRUE(device.failed());
+  EXPECT_EQ(device.worn_out_cells(), 1u);
+  EXPECT_DOUBLE_EQ(device.lifetime_remaining(), 0.0);
+}
+
+TEST(NvmDevice, EnergyAndLatencyUseAsymmetricCosts) {
+  NvmConfig config = SmallConfig();
+  config.read_energy_nj = 1.0;
+  config.write_energy_nj = 10.0;
+  config.read_latency_ns = 50.0;
+  config.write_latency_ns = 500.0;
+  NvmDevice device(config);
+  device.Write(0);
+  device.Read(0);
+  device.ReadBulk(9);
+  EXPECT_DOUBLE_EQ(device.energy_nj(), 10.0 + 10.0);
+  EXPECT_DOUBLE_EQ(device.latency_ns(), 500.0 + 500.0);
+  EXPECT_EQ(device.total_reads(), 10u);
+}
+
+TEST(NvmDevice, WearImbalanceDetectsHotCells) {
+  NvmDevice hot(SmallConfig());
+  for (int i = 0; i < 64; ++i) hot.Write(0);
+  EXPECT_DOUBLE_EQ(hot.wear_imbalance(), 64.0);
+
+  NvmDevice level(SmallConfig());
+  for (int c = 0; c < 64; ++c) level.Write(c);
+  EXPECT_DOUBLE_EQ(level.wear_imbalance(), 1.0);
+}
+
+TEST(WearLeveling, DirectMappingIsIdentityModuloSize) {
+  DirectMapping direct(64);
+  EXPECT_EQ(direct.MapWrite(5), 5u);
+  EXPECT_EQ(direct.MapWrite(64 + 5), 5u);
+}
+
+TEST(WearLeveling, RotatingMappingSpreadsAHotCell) {
+  RotatingMapping rotate(16, /*rotate_period=*/1);
+  std::set<uint64_t> cells;
+  for (int i = 0; i < 16; ++i) cells.insert(rotate.MapWrite(0));
+  EXPECT_EQ(cells.size(), 16u);  // one rotation per write covers the device
+}
+
+TEST(WearLeveling, HashedMappingSpreadsAHotCell) {
+  HashedMapping hashed(1 << 12, 7);
+  std::set<uint64_t> cells;
+  for (int i = 0; i < 100; ++i) cells.insert(hashed.MapWrite(0));
+  EXPECT_GT(cells.size(), 90u);  // ~uniform scatter, few collisions
+}
+
+TEST(NvmAdapter, ReplayMatchesLogAndAccountant) {
+  StateAccountant accountant;
+  WriteLog log(1000);
+  accountant.set_write_log(&log);
+  accountant.BeginUpdate();
+  accountant.RecordWrite(1);
+  accountant.RecordWrite(2);
+  accountant.BeginUpdate();
+  accountant.RecordWrite(1);
+  accountant.RecordRead(7);
+
+  NvmConfig config = SmallConfig();
+  NvmDevice device(config);
+  auto policy = MakeDirectMapping(config.num_cells);
+  const NvmReplayReport report =
+      ReplayOnNvm(log, accountant, policy.get(), &device);
+  EXPECT_EQ(report.writes_replayed, 3u);
+  EXPECT_EQ(report.reads_replayed, 7u);
+  EXPECT_EQ(report.max_cell_wear, 2u);  // cell 1 written twice
+  EXPECT_DOUBLE_EQ(report.projected_stream_replays_to_failure, 100.0 / 2.0);
+}
+
+TEST(NvmAdapter, NoWritesMeansInfiniteLifetime) {
+  StateAccountant accountant;
+  WriteLog log(10);
+  NvmConfig config = SmallConfig();
+  NvmDevice device(config);
+  auto policy = MakeDirectMapping(config.num_cells);
+  const NvmReplayReport report =
+      ReplayOnNvm(log, accountant, policy.get(), &device);
+  EXPECT_TRUE(std::isinf(report.projected_stream_replays_to_failure));
+}
+
+TEST(NvmAdapter, WearLevelingExtendsLifetimeOfHotWorkloads) {
+  // A workload that hammers one logical cell: direct mapping dies sooner
+  // than rotate/hashed.
+  StateAccountant accountant;
+  WriteLog log(100000);
+  accountant.set_write_log(&log);
+  for (int i = 0; i < 1000; ++i) {
+    accountant.BeginUpdate();
+    accountant.RecordWrite(0);
+  }
+  NvmConfig config;
+  config.num_cells = 256;
+  config.endurance = 1 << 20;
+
+  auto run = [&](std::unique_ptr<WearLevelingPolicy> policy) {
+    NvmDevice device(config);
+    return ReplayOnNvm(log, accountant, policy.get(), &device)
+        .projected_stream_replays_to_failure;
+  };
+  const double direct = run(MakeDirectMapping(config.num_cells));
+  const double rotate = run(MakeRotatingMapping(config.num_cells, 4));
+  const double hashed = run(MakeHashedMapping(config.num_cells, 9));
+  EXPECT_GT(rotate, 10 * direct);
+  EXPECT_GT(hashed, 10 * direct);
+}
+
+}  // namespace
+}  // namespace fewstate

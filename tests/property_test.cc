@@ -1,0 +1,193 @@
+// Parameterised property sweeps (TEST_P) over the library's core
+// invariants: one-sidedness of sample-and-hold estimates, unbiasedness of
+// Morris counters across growth parameters, nestedness of subsampling,
+// monotone dependence of state changes on the write budget, and Fp
+// estimator sanity across (p, skew) grids.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/hashing.h"
+#include "core/fp_estimator.h"
+#include "core/sample_and_hold.h"
+#include "counters/morris_counter.h"
+#include "stream/generators.h"
+#include "stream/stream_stats.h"
+
+namespace fewstate {
+namespace {
+
+// ---------- Morris counter unbiasedness across growth parameters ----------
+
+class MorrisGrowthProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(MorrisGrowthProperty, MeanEstimateTracksTrueCount) {
+  const double a = GetParam();
+  const uint64_t kN = 4000;
+  const int kCounters = 48;
+  StateAccountant accountant;
+  Rng rng(17 + static_cast<uint64_t>(a * 1e6));
+  double sum = 0;
+  for (int c = 0; c < kCounters; ++c) {
+    MorrisCounter counter(&accountant, &rng, a);
+    for (uint64_t i = 0; i < kN; ++i) counter.Increment();
+    sum += counter.Estimate();
+  }
+  const double tolerance = 5.0 * std::sqrt(a / 2.0 + 1e-4 / kN) /
+                               std::sqrt(static_cast<double>(kCounters)) +
+                           0.01;
+  EXPECT_NEAR(sum / kCounters / kN, 1.0, tolerance);
+}
+
+TEST_P(MorrisGrowthProperty, StateChangesShrinkWithGrowthParameter) {
+  const double a = GetParam();
+  if (a == 0.0) GTEST_SKIP() << "exact counter: changes == N by definition";
+  StateAccountant accountant;
+  Rng rng(18);
+  MorrisCounter counter(&accountant, &rng, a);
+  const uint64_t kN = 50000;
+  for (uint64_t i = 0; i < kN; ++i) counter.Increment();
+  // log(1 + aN)/a plus generous slack.
+  const double expected = std::log1p(a * kN) / a;
+  EXPECT_LT(counter.level_changes(), 3.0 * expected + 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(GrowthSweep, MorrisGrowthProperty,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.2, 1.0));
+
+// ---------- Sample-and-hold one-sidedness across (p, skew) ----------
+
+class SampleAndHoldProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SampleAndHoldProperty, EstimatesAreOneSided) {
+  const auto [p, skew] = GetParam();
+  const uint64_t n = 3000, m = 30000;
+  const Stream stream = ZipfStream(n, skew, m, 19);
+  const StreamStats oracle(stream);
+  SampleAndHoldOptions options;
+  options.universe = n;
+  options.stream_length_hint = m;
+  options.p = p;
+  options.eps = 0.4;
+  options.seed = 20;
+  SampleAndHold alg(options);
+  alg.Consume(stream);
+  for (const HeavyHitter& hh : alg.TrackedItems()) {
+    const double truth = static_cast<double>(oracle.Frequency(hh.item));
+    // (1 + eps)-Morris slack plus the +1 reservoir convention.
+    EXPECT_LE(hh.estimate, 1.45 * truth + 1.0)
+        << "p=" << p << " skew=" << skew << " item=" << hh.item;
+  }
+}
+
+TEST_P(SampleAndHoldProperty, StateChangesNeverExceedUpdatesPlusInit) {
+  const auto [p, skew] = GetParam();
+  const uint64_t n = 2000, m = 20000;
+  SampleAndHoldOptions options;
+  options.universe = n;
+  options.stream_length_hint = m;
+  options.p = p;
+  options.eps = 0.4;
+  options.seed = 21;
+  SampleAndHold alg(options);
+  alg.Consume(ZipfStream(n, skew, m, 22));
+  EXPECT_LE(alg.accountant().state_changes(), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PSkewGrid, SampleAndHoldProperty,
+    ::testing::Combine(::testing::Values(1.0, 1.5, 2.0, 3.0),
+                       ::testing::Values(0.8, 1.2, 1.8)));
+
+// ---------- Write budget monotonicity ----------
+
+class WriteBudgetProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(WriteBudgetProperty, SamplingWritesScaleWithRate) {
+  const double scale = GetParam();
+  const uint64_t n = 5000, m = 100000;
+  SampleAndHoldOptions base;
+  base.universe = n;
+  base.stream_length_hint = m;
+  base.p = 2.0;
+  base.eps = 0.4;
+  base.seed = 23;
+  base.sample_rate_scale = scale;
+  SampleAndHoldOptions doubled = base;
+  doubled.sample_rate_scale = 2.0 * scale;
+  SampleAndHold lo(base), hi(doubled);
+  const Stream stream = PermutationStream(n, 24);  // sampling-only writes
+  // Replay the stream 20x so rates are well below 1 in both configs.
+  for (int rep = 0; rep < 20; ++rep) {
+    lo.Consume(stream);
+    hi.Consume(stream);
+  }
+  EXPECT_LT(lo.accountant().state_changes(),
+            hi.accountant().state_changes());
+}
+
+INSTANTIATE_TEST_SUITE_P(RateSweep, WriteBudgetProperty,
+                         ::testing::Values(0.02, 0.05, 0.1));
+
+// ---------- Nestedness of hash-based universe subsampling ----------
+
+class NestednessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NestednessProperty, DeeperLevelsAreSubsets) {
+  const int seed = GetParam();
+  PolynomialHash hash(4, seed);
+  const int kMax = 12;
+  // Membership at level l is level >= l; verify the survivor counts halve.
+  std::vector<int> survivors(kMax + 1, 0);
+  const int kItems = 60000;
+  for (int x = 0; x < kItems; ++x) {
+    const int level = hash.GeometricLevel(x, kMax);
+    for (int l = 0; l <= level; ++l) ++survivors[l];
+  }
+  for (int l = 1; l <= 6; ++l) {
+    const double ratio =
+        static_cast<double>(survivors[l]) / survivors[l - 1];
+    EXPECT_NEAR(ratio, 0.5, 0.08) << "level " << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, NestednessProperty,
+                         ::testing::Values(1, 7, 1234));
+
+// ---------- Fp estimator sanity grid ----------
+
+class FpEstimatorProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FpEstimatorProperty, MedianEstimateWithinBand) {
+  const auto [p, skew] = GetParam();
+  const uint64_t n = 5000, m = 50000;
+  const Stream stream = ZipfStream(n, skew, m, 25);
+  const StreamStats oracle(stream);
+  const double exact = oracle.Fp(p);
+  std::vector<double> ratios;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    FpEstimatorOptions options;
+    options.universe = n;
+    options.stream_length_hint = m;
+    options.p = p;
+    options.eps = 0.35;
+    options.seed = 70 + seed;
+    FpEstimator alg(options);
+    alg.Consume(stream);
+    ratios.push_back(alg.EstimateFp() / exact);
+  }
+  std::nth_element(ratios.begin(), ratios.begin() + 1, ratios.end());
+  EXPECT_NEAR(ratios[1], 1.0, 0.4) << "p=" << p << " skew=" << skew;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PSkewGrid, FpEstimatorProperty,
+    ::testing::Combine(::testing::Values(1.5, 2.0, 2.5),
+                       ::testing::Values(1.1, 1.6)));
+
+}  // namespace
+}  // namespace fewstate

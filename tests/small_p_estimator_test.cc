@@ -1,0 +1,94 @@
+#include "core/small_p_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stream/generators.h"
+#include "stream/stream_stats.h"
+
+namespace fewstate {
+namespace {
+
+TEST(SmallPEstimatorOptions, Validation) {
+  SmallPEstimatorOptions options;
+  options.p = 0.5;
+  EXPECT_TRUE(options.Validate().ok());
+  options.p = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.p = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options.p = 0.5;
+  options.eps = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(SmallPEstimator, CreateFactory) {
+  std::unique_ptr<SmallPEstimator> alg;
+  SmallPEstimatorOptions options;
+  options.p = 0.5;
+  EXPECT_TRUE(SmallPEstimator::Create(options, &alg).ok());
+  ASSERT_NE(alg, nullptr);
+  options.p = 2.0;
+  EXPECT_FALSE(SmallPEstimator::Create(options, &alg).ok());
+}
+
+TEST(SmallPEstimator, RowsDeriveFromEps) {
+  SmallPEstimatorOptions options;
+  options.p = 0.5;
+  options.eps = 0.25;
+  SmallPEstimator alg(options);
+  EXPECT_EQ(alg.rows(), 96u);  // ceil(6 / 0.0625)
+}
+
+TEST(SmallPEstimator, MedianAccuracyAcrossSeeds) {
+  const Stream stream = ZipfStream(3000, 1.2, 30000, 40);
+  const StreamStats oracle(stream);
+  for (double p : {0.25, 0.5, 0.8}) {
+    std::vector<double> ratios;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      SmallPEstimatorOptions options;
+      options.p = p;
+      options.eps = 0.25;
+      options.seed = 60 + seed;
+      SmallPEstimator alg(options);
+      alg.Consume(stream);
+      ratios.push_back(alg.EstimateFp() / oracle.Fp(p));
+    }
+    std::nth_element(ratios.begin(), ratios.begin() + 2, ratios.end());
+    EXPECT_NEAR(ratios[2], 1.0, 0.35) << "p=" << p;
+  }
+}
+
+TEST(SmallPEstimator, StateChangesAreSublinear) {
+  const uint64_t m = 200000;
+  const Stream stream = ZipfStream(2000, 1.2, m, 41);
+  SmallPEstimatorOptions options;
+  options.p = 0.5;
+  options.eps = 0.3;
+  options.seed = 42;
+  SmallPEstimator alg(options);
+  alg.Consume(stream);
+  EXPECT_LT(alg.accountant().state_changes(), m / 2);
+}
+
+TEST(SmallPEstimator, StateChangeRatioFallsWithStreamLength) {
+  // The poly(log) claim: chg/m decreases as m grows.
+  SmallPEstimatorOptions options;
+  options.p = 0.5;
+  options.eps = 0.3;
+  options.seed = 43;
+  double prev_ratio = 1.0;
+  for (uint64_t m : {20000ULL, 160000ULL}) {
+    SmallPEstimator alg(options);
+    alg.Consume(ZipfStream(2000, 1.2, m, 44));
+    const double ratio =
+        static_cast<double>(alg.accountant().state_changes()) /
+        static_cast<double>(m);
+    EXPECT_LT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace fewstate

@@ -1,0 +1,101 @@
+// End-to-end smoke checks: every public structure consumes a stream and
+// answers queries without dying. Detailed behaviour is covered by the
+// per-module test files.
+
+#include <gtest/gtest.h>
+
+#include "core/entropy_estimator.h"
+#include "core/fp_estimator.h"
+#include "core/full_sample_and_hold.h"
+#include "core/heavy_hitters.h"
+#include "core/sample_and_hold.h"
+#include "core/small_p_estimator.h"
+#include "core/sparse_recovery.h"
+#include "stream/generators.h"
+#include "stream/stream_stats.h"
+
+namespace fewstate {
+namespace {
+
+TEST(Smoke, SampleAndHoldRuns) {
+  SampleAndHoldOptions options;
+  options.universe = 10000;
+  options.stream_length_hint = 20000;
+  options.p = 2.0;
+  options.eps = 0.5;
+  options.seed = 1;
+  SampleAndHold alg(options);
+  alg.Consume(ZipfStream(10000, 1.2, 20000, 7));
+  EXPECT_GT(alg.updates_seen(), 0u);
+  EXPECT_GT(alg.accountant().state_changes(), 0u);
+  EXPECT_LT(alg.accountant().state_changes(), 20000u);
+}
+
+TEST(Smoke, FullSampleAndHoldRuns) {
+  FullSampleAndHoldOptions options;
+  options.universe = 5000;
+  options.stream_length_hint = 10000;
+  options.seed = 2;
+  FullSampleAndHold alg(options);
+  alg.Consume(ZipfStream(5000, 1.2, 10000, 8));
+  EXPECT_FALSE(alg.TrackedItems().empty());
+}
+
+TEST(Smoke, FpEstimatorRuns) {
+  FpEstimatorOptions options;
+  options.universe = 5000;
+  options.stream_length_hint = 10000;
+  options.p = 2.0;
+  options.eps = 0.4;
+  options.seed = 3;
+  FpEstimator alg(options);
+  alg.Consume(ZipfStream(5000, 1.3, 10000, 9));
+  EXPECT_GT(alg.EstimateFp(), 0.0);
+}
+
+TEST(Smoke, SmallPEstimatorRuns) {
+  SmallPEstimatorOptions options;
+  options.p = 0.5;
+  options.eps = 0.3;
+  options.seed = 4;
+  SmallPEstimator alg(options);
+  alg.Consume(ZipfStream(2000, 1.1, 5000, 10));
+  EXPECT_GT(alg.EstimateFp(), 0.0);
+}
+
+TEST(Smoke, EntropyEstimatorRuns) {
+  EntropyEstimatorOptions options;
+  options.universe = 2000;
+  options.stream_length_hint = 5000;
+  options.eps = 0.5;
+  options.seed = 5;
+  EntropyEstimator alg(options);
+  alg.Consume(ZipfStream(2000, 1.1, 5000, 11));
+  const double h = alg.EstimateEntropy();
+  EXPECT_GE(h, 0.0);
+}
+
+TEST(Smoke, HeavyHittersRuns) {
+  HeavyHittersOptions options;
+  options.universe = 5000;
+  options.stream_length_hint = 10000;
+  options.eps = 0.2;
+  options.seed = 6;
+  LpHeavyHitters alg(options);
+  alg.Consume(ZipfStream(5000, 1.5, 10000, 12));
+  EXPECT_GT(alg.EstimateLpNorm(), 0.0);
+}
+
+TEST(Smoke, SparseRecoveryRuns) {
+  SparseRecoveryOptions options;
+  options.universe = 100000;
+  options.sparsity = 10;
+  options.stream_length_hint = 10000;
+  options.seed = 7;
+  SparseRecovery alg(options);
+  alg.Consume(SparseStream(100000, 10, 1000, 13));
+  EXPECT_FALSE(alg.RecoverSupport().empty());
+}
+
+}  // namespace
+}  // namespace fewstate

@@ -1,0 +1,98 @@
+#include "core/sparse_recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stream/generators.h"
+#include "stream/stream_stats.h"
+
+namespace fewstate {
+namespace {
+
+SparseRecoveryOptions BaseOptions(uint64_t n, uint64_t k, uint64_t m,
+                                  uint64_t seed = 1) {
+  SparseRecoveryOptions options;
+  options.universe = n;
+  options.sparsity = k;
+  options.stream_length_hint = m;
+  options.seed = seed;
+  return options;
+}
+
+std::vector<Item> TrueSupport(const Stream& stream) {
+  StreamStats stats(stream);
+  std::vector<Item> support;
+  for (const auto& [item, f] : stats.frequencies()) support.push_back(item);
+  std::sort(support.begin(), support.end());
+  return support;
+}
+
+TEST(SparseRecoveryOptions, Validation) {
+  EXPECT_TRUE(BaseOptions(100, 5, 100).Validate().ok());
+  EXPECT_FALSE(BaseOptions(0, 5, 100).Validate().ok());
+  EXPECT_FALSE(BaseOptions(100, 0, 100).Validate().ok());
+}
+
+TEST(SparseRecovery, CreateFactory) {
+  std::unique_ptr<SparseRecovery> alg;
+  EXPECT_TRUE(SparseRecovery::Create(BaseOptions(100, 5, 100), &alg).ok());
+  ASSERT_NE(alg, nullptr);
+}
+
+TEST(SparseRecovery, RecoversBalancedSupportExactly) {
+  const uint64_t n = 1 << 20;
+  int exact_recoveries = 0;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const uint64_t k = 8;
+    const Stream stream = SparseStream(n, k, /*repeats=*/500, seed);
+    SparseRecovery alg(BaseOptions(n, k, stream.size(), 40 + seed));
+    alg.Consume(stream);
+    exact_recoveries += (alg.RecoverSupport() == TrueSupport(stream));
+  }
+  EXPECT_GE(exact_recoveries, 3);
+}
+
+TEST(SparseRecovery, HandlesLargerSparsity) {
+  const uint64_t n = 1 << 18, k = 32;
+  const Stream stream = SparseStream(n, k, 300, 5);
+  SparseRecovery alg(BaseOptions(n, k, stream.size(), 44));
+  alg.Consume(stream);
+  const auto support = alg.RecoverSupport();
+  const auto truth = TrueSupport(stream);
+  // At least 90% of the support recovered, nothing spurious.
+  size_t hits = 0;
+  for (Item item : support) {
+    hits += std::binary_search(truth.begin(), truth.end(), item);
+  }
+  EXPECT_EQ(hits, support.size());  // no false positives
+  EXPECT_GE(hits * 10, truth.size() * 9);
+}
+
+TEST(SparseRecovery, ExplicitThresholdFiltersLightNoise) {
+  // k-sparse signal plus light noise items: threshold keeps the support.
+  const uint64_t n = 1 << 16, k = 4;
+  Stream stream = SparseStream(n, k, 1000, 6);
+  const auto truth = TrueSupport(stream);
+  Stream noise = PermutationStream(200, 7);  // 200 singleton items
+  stream.insert(stream.end(), noise.begin(), noise.end());
+  ShuffleStream(&stream, 8);
+
+  SparseRecovery alg(BaseOptions(n, k, stream.size(), 45));
+  alg.Consume(stream);
+  const auto support = alg.RecoverSupportAbove(500.0);
+  EXPECT_EQ(support, truth);
+}
+
+TEST(SparseRecovery, StateChangesStaySmall) {
+  // p = 1: n^{1-1/p} = 1, so writes are polylog * poly(k) — sublinear once
+  // m clears the Otilde(k^2 polylog) floor.
+  const uint64_t n = 1 << 20, k = 8;
+  const Stream stream = SparseStream(n, k, 40000, 9);
+  SparseRecovery alg(BaseOptions(n, k, stream.size(), 46));
+  alg.Consume(stream);
+  EXPECT_LT(alg.accountant().state_changes(), (4 * stream.size()) / 5);
+}
+
+}  // namespace
+}  // namespace fewstate

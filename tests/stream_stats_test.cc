@@ -1,0 +1,90 @@
+#include "stream/stream_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/generators.h"
+
+namespace fewstate {
+namespace {
+
+TEST(StreamStats, FrequenciesAndLength) {
+  const Stream stream = {1, 2, 2, 3, 3, 3};
+  const StreamStats stats(stream);
+  EXPECT_EQ(stats.length(), 6u);
+  EXPECT_EQ(stats.distinct(), 3u);
+  EXPECT_EQ(stats.Frequency(1), 1u);
+  EXPECT_EQ(stats.Frequency(2), 2u);
+  EXPECT_EQ(stats.Frequency(3), 3u);
+  EXPECT_EQ(stats.Frequency(99), 0u);
+  EXPECT_EQ(stats.max_frequency(), 3u);
+}
+
+TEST(StreamStats, FpMatchesManualComputation) {
+  const Stream stream = {1, 2, 2, 3, 3, 3};
+  const StreamStats stats(stream);
+  EXPECT_DOUBLE_EQ(stats.Fp(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(stats.Fp(2.0), 1.0 + 4.0 + 9.0);
+  EXPECT_DOUBLE_EQ(stats.Fp(3.0), 1.0 + 8.0 + 27.0);
+  EXPECT_DOUBLE_EQ(stats.Fp(0.0), 3.0);  // distinct count
+  EXPECT_NEAR(stats.Fp(0.5), 1.0 + std::sqrt(2.0) + std::sqrt(3.0), 1e-12);
+}
+
+TEST(StreamStats, LpIsFpRoot) {
+  const Stream stream = {5, 5, 5, 5};
+  const StreamStats stats(stream);
+  EXPECT_DOUBLE_EQ(stats.Lp(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats.Lp(1.0), 4.0);
+}
+
+TEST(StreamStats, EntropyKnownCases) {
+  // Uniform over 8 items: H = 3 bits.
+  Stream uniform;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (Item j = 0; j < 8; ++j) uniform.push_back(j);
+  }
+  EXPECT_NEAR(StreamStats(uniform).ShannonEntropy(), 3.0, 1e-12);
+
+  // Constant stream: H = 0.
+  const Stream constant(100, 7);
+  EXPECT_DOUBLE_EQ(StreamStats(constant).ShannonEntropy(), 0.0);
+
+  // Two items 50/50: H = 1.
+  Stream coin;
+  for (int i = 0; i < 50; ++i) {
+    coin.push_back(0);
+    coin.push_back(1);
+  }
+  EXPECT_NEAR(StreamStats(coin).ShannonEntropy(), 1.0, 1e-12);
+
+  // Empty stream: defined as 0.
+  EXPECT_DOUBLE_EQ(StreamStats(Stream{}).ShannonEntropy(), 0.0);
+}
+
+TEST(StreamStats, ItemsAboveAndHeavyHitters) {
+  const Stream stream = {1, 1, 1, 1, 2, 2, 3};
+  const StreamStats stats(stream);
+  auto above = stats.ItemsAbove(2.0);
+  EXPECT_EQ(above.size(), 2u);
+  // L2 norm = sqrt(16+4+1) = sqrt(21) ~ 4.58; eps=0.8 threshold ~ 3.67.
+  auto heavy = stats.LpHeavyHitters(2.0, 0.8);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0], 1u);
+}
+
+TEST(StreamStats, PermutationMoments) {
+  const StreamStats stats(PermutationStream(1000, 3));
+  EXPECT_DOUBLE_EQ(stats.Fp(2.0), 1000.0);
+  EXPECT_DOUBLE_EQ(stats.Fp(3.0), 1000.0);
+  EXPECT_NEAR(stats.ShannonEntropy(), std::log2(1000.0), 1e-9);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fewstate
