@@ -3,6 +3,10 @@
 // CountSketch: O(m), L2) against this paper's FullSampleAndHold
 // (Otilde(n^{1-1/p}), L2 which includes L1).
 //
+// All five structures are driven through one StreamEngine pass per stream
+// length (the API the table is meant to showcase): per-sketch state-change
+// counts come straight out of the engine's RunReport.
+//
 // The table prints, for a sweep of stream lengths m over a fixed universe,
 // the paper-metric state-change count of each algorithm and its ratio to
 // m. Baselines stay pinned at ratio 1.0; the sample-and-hold structure's
@@ -10,7 +14,9 @@
 // the stream.
 
 #include <cinttypes>
+#include <memory>
 
+#include "api/stream_engine.h"
 #include "baselines/count_min.h"
 #include "baselines/count_sketch.h"
 #include "baselines/misra_gries.h"
@@ -24,11 +30,10 @@ using namespace fewstate;
 
 namespace {
 
-struct Result {
+struct Row {
   const char* name;
   const char* guarantee;
-  uint64_t changes;
-  double recall;  // fraction of true L2 heavy hitters found
+  std::vector<HeavyHitter> reported;
 };
 
 double Recall(const std::vector<HeavyHitter>& reported,
@@ -63,32 +68,7 @@ int main() {
     const StreamStats oracle(stream);
     const std::vector<Item> truth = oracle.LpHeavyHitters(2.0, kEps);
     const double l2 = oracle.Lp(2.0);
-
-    std::vector<Result> results;
-
-    MisraGries mg(1000);
-    mg.Consume(stream);
-    results.push_back({"MisraGries[MG82]", "L1 only",
-                       mg.accountant().state_changes(),
-                       Recall(mg.HeavyHitters(0.5 * kEps * l2), truth)});
-
-    CountMin cm(4, 2048, 2);
-    cm.Consume(stream);
-    results.push_back(
-        {"CountMin[CM05]", "L1 only", cm.accountant().state_changes(),
-         Recall(cm.HeavyHittersByScan(n, 0.5 * kEps * l2), truth)});
-
-    SpaceSaving ss(1000);
-    ss.Consume(stream);
-    results.push_back({"SpaceSaving[MAA05]", "L1 only",
-                       ss.accountant().state_changes(),
-                       Recall(ss.HeavyHitters(0.5 * kEps * l2), truth)});
-
-    CountSketch cs(5, 2048, 3);
-    cs.Consume(stream);
-    results.push_back(
-        {"CountSketch[CCF04]", "L2", cs.accountant().state_changes(),
-         Recall(cs.HeavyHittersByScan(n, 0.5 * kEps * l2), truth)});
+    const double threshold = 0.5 * kEps * l2;
 
     FullSampleAndHoldOptions fsh_options;
     fsh_options.universe = n;
@@ -96,17 +76,34 @@ int main() {
     fsh_options.p = 2.0;
     fsh_options.eps = kEps;
     fsh_options.seed = 4;
-    FullSampleAndHold fsh(fsh_options);
-    fsh.Consume(stream);
-    results.push_back({"FullSampleAndHold", "L2 (ours)",
-                       fsh.accountant().state_changes(),
-                       Recall(fsh.TrackedItemsAbove(0.5 * kEps * l2), truth)});
 
-    for (const Result& r : results) {
+    StreamEngine engine;
+    auto* mg = static_cast<MisraGries*>(
+        engine.Register("MisraGries[MG82]", std::make_unique<MisraGries>(1000)));
+    auto* cm = static_cast<CountMin*>(
+        engine.Register("CountMin[CM05]", std::make_unique<CountMin>(4, 2048, 2)));
+    auto* ss = static_cast<SpaceSaving*>(engine.Register(
+        "SpaceSaving[MAA05]", std::make_unique<SpaceSaving>(1000)));
+    auto* cs = static_cast<CountSketch*>(engine.Register(
+        "CountSketch[CCF04]", std::make_unique<CountSketch>(5, 2048, 3)));
+    auto* fsh = static_cast<FullSampleAndHold*>(engine.Register(
+        "FullSampleAndHold", std::make_unique<FullSampleAndHold>(fsh_options)));
+
+    const RunReport report = engine.Run(stream);
+
+    const Row rows[] = {
+        {"MisraGries[MG82]", "L1 only", mg->HeavyHitters(threshold)},
+        {"CountMin[CM05]", "L1 only", cm->HeavyHittersByScan(n, threshold)},
+        {"SpaceSaving[MAA05]", "L1 only", ss->HeavyHitters(threshold)},
+        {"CountSketch[CCF04]", "L2", cs->HeavyHittersByScan(n, threshold)},
+        {"FullSampleAndHold", "L2 (ours)", fsh->TrackedItemsAbove(threshold)},
+    };
+    for (const Row& row : rows) {
+      const uint64_t changes = report.Find(row.name)->state_changes;
       std::printf("%-22s %-12s %10" PRIu64 " %14" PRIu64 " %10.4f %8.2f\n",
-                  r.name, r.guarantee, m, r.changes,
-                  static_cast<double>(r.changes) / static_cast<double>(m),
-                  r.recall);
+                  row.name, row.guarantee, m, changes,
+                  static_cast<double>(changes) / static_cast<double>(m),
+                  Recall(row.reported, truth));
     }
     std::printf("\n");
   }

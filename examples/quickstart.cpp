@@ -6,7 +6,9 @@
 //   ./build/examples/quickstart
 
 #include <cstdio>
+#include <memory>
 
+#include "api/stream_engine.h"
 #include "baselines/count_min.h"
 #include "core/fp_estimator.h"
 #include "core/heavy_hitters.h"
@@ -31,12 +33,15 @@ int main() {
   hh_options.p = 2.0;
   hh_options.eps = 0.25;
   hh_options.seed = 1;
-  LpHeavyHitters hh(hh_options);
-  hh.Consume(stream);
-
   // --- Classic baseline: CountMin writes on every update. ---
-  CountMin count_min(/*depth=*/4, /*width=*/2048, /*seed=*/2);
-  count_min.Consume(stream);
+  // Both sketches ride one StreamEngine pass; the RunReport carries each
+  // sketch's isolated state-change and word-write totals.
+  StreamEngine engine;
+  auto& hh = *static_cast<LpHeavyHitters*>(engine.Register(
+      "lp_heavy_hitters", std::make_unique<LpHeavyHitters>(hh_options)));
+  engine.Register("count_min", std::make_unique<CountMin>(
+                                   /*depth=*/4, /*width=*/2048, /*seed=*/2));
+  const RunReport report = engine.Run(stream);
 
   std::printf("stream: m=%llu updates, universe n=%llu\n",
               (unsigned long long)m, (unsigned long long)n);
@@ -54,11 +59,10 @@ int main() {
   }
 
   std::printf("\nstate changes (paper metric, writes to memory):\n");
-  std::printf("  LpHeavyHitters : %10llu  (%.2f%% of updates)\n",
-              (unsigned long long)hh.accountant().state_changes(),
-              100.0 * hh.accountant().state_changes() / (double)m);
-  std::printf("  CountMin       : %10llu  (%.2f%% of updates)\n",
-              (unsigned long long)count_min.accountant().state_changes(),
-              100.0 * count_min.accountant().state_changes() / (double)m);
+  for (const SketchRunReport& row : report.sketches) {
+    std::printf("  %-16s : %10llu  (%.2f%% of updates)\n", row.name.c_str(),
+                (unsigned long long)row.state_changes,
+                100.0 * row.state_changes / (double)m);
+  }
   return 0;
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Local tier-1 verify: configure, build every target, run the full test
+# suite. Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"

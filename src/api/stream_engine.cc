@@ -1,0 +1,159 @@
+#include "api/stream_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace fewstate {
+
+namespace {
+
+/// Snapshot of the accountant counters used to compute per-run deltas.
+struct AccountantSnapshot {
+  uint64_t updates = 0;
+  uint64_t state_changes = 0;
+  uint64_t word_writes = 0;
+  uint64_t suppressed_writes = 0;
+  uint64_t word_reads = 0;
+
+  static AccountantSnapshot Of(const StateAccountant& a) {
+    AccountantSnapshot s;
+    s.updates = a.updates();
+    s.state_changes = a.state_changes();
+    s.word_writes = a.word_writes();
+    s.suppressed_writes = a.suppressed_writes();
+    s.word_reads = a.word_reads();
+    return s;
+  }
+};
+
+}  // namespace
+
+const SketchRunReport* RunReport::Find(const std::string& name) const {
+  for (const SketchRunReport& s : sketches) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string RunReport::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "stream_length=%llu wall_seconds=%.6f\n",
+                static_cast<unsigned long long>(stream_length), wall_seconds);
+  out += line;
+  for (const SketchRunReport& s : sketches) {
+    std::snprintf(
+        line, sizeof(line),
+        "  %-24s state_changes=%-10llu word_writes=%-10llu "
+        "suppressed=%-8llu reads=%-10llu peak_words=%-8llu wall=%.6fs\n",
+        s.name.c_str(), static_cast<unsigned long long>(s.state_changes),
+        static_cast<unsigned long long>(s.word_writes),
+        static_cast<unsigned long long>(s.suppressed_writes),
+        static_cast<unsigned long long>(s.word_reads),
+        static_cast<unsigned long long>(s.peak_allocated_words),
+        s.wall_seconds);
+    out += line;
+  }
+  return out;
+}
+
+Sketch* StreamEngine::Register(std::string name,
+                               std::unique_ptr<Sketch> sketch) {
+  Sketch* raw = sketch.get();
+  return RegisterEntry(std::move(name), raw, std::move(sketch));
+}
+
+Sketch* StreamEngine::RegisterBorrowed(std::string name, Sketch* sketch) {
+  return RegisterEntry(std::move(name), sketch, nullptr);
+}
+
+Sketch* StreamEngine::RegisterEntry(std::string name, Sketch* borrowed,
+                                    std::unique_ptr<Sketch> owned) {
+  if (borrowed == nullptr) {
+    std::fprintf(stderr, "StreamEngine::Register: null sketch for '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  if (Find(name) != nullptr) {
+    std::fprintf(stderr, "StreamEngine::Register: duplicate name '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  Entry entry;
+  entry.name = std::move(name);
+  entry.sketch = borrowed;
+  entry.owned = std::move(owned);
+  entries_.push_back(std::move(entry));
+  return borrowed;
+}
+
+std::vector<std::string> StreamEngine::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+Sketch* StreamEngine::Find(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.sketch;
+  }
+  return nullptr;
+}
+
+RunReport StreamEngine::Run(const Stream& stream) {
+  using Clock = std::chrono::steady_clock;
+
+  RunReport report;
+  report.stream_length = stream.size();
+  report.sketches.resize(entries_.size());
+
+  std::vector<AccountantSnapshot> before(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    before[i] = AccountantSnapshot::Of(entries_[i].sketch->accountant());
+  }
+  std::vector<double> sketch_seconds(entries_.size(), 0.0);
+
+  // Sketches are mutually independent, so the pass is blocked: each sketch
+  // consumes one block of the stream at a time. That costs two clock reads
+  // per (sketch, block) instead of per (sketch, item), keeping the timer
+  // overhead negligible relative to the update work.
+  constexpr size_t kBlockItems = 1024;
+  const Clock::time_point run_start = Clock::now();
+  for (size_t begin = 0; begin < stream.size(); begin += kBlockItems) {
+    const size_t end = std::min(begin + kBlockItems, stream.size());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      Sketch* sketch = entries_[i].sketch;
+      const Clock::time_point t0 = Clock::now();
+      for (size_t j = begin; j < end; ++j) sketch->Update(stream[j]);
+      sketch_seconds[i] +=
+          std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - run_start).count();
+
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const StateAccountant& a = entries_[i].sketch->accountant();
+    const AccountantSnapshot after = AccountantSnapshot::Of(a);
+    SketchRunReport& s = report.sketches[i];
+    s.name = entries_[i].name;
+    s.updates = after.updates - before[i].updates;
+    s.state_changes = after.state_changes - before[i].state_changes;
+    s.word_writes = after.word_writes - before[i].word_writes;
+    s.suppressed_writes =
+        after.suppressed_writes - before[i].suppressed_writes;
+    s.word_reads = after.word_reads - before[i].word_reads;
+    s.peak_allocated_words = a.peak_allocated_words();
+    s.wall_seconds = sketch_seconds[i];
+  }
+
+  last_report_ = report;
+  return report;
+}
+
+}  // namespace fewstate

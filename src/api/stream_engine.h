@@ -1,0 +1,104 @@
+#ifndef FEWSTATE_API_STREAM_ENGINE_H_
+#define FEWSTATE_API_STREAM_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/sketch.h"
+#include "common/stream_types.h"
+
+namespace fewstate {
+
+/// \brief Per-sketch outcome of one `StreamEngine::Run` pass: the deltas
+/// of the sketch's `StateAccountant` over the run, plus wall time spent in
+/// its `Update` calls.
+struct SketchRunReport {
+  std::string name;
+  uint64_t updates = 0;
+  /// The paper's §1.5 metric: updates t with sigma_t != sigma_{t-1}.
+  uint64_t state_changes = 0;
+  uint64_t word_writes = 0;
+  uint64_t suppressed_writes = 0;
+  uint64_t word_reads = 0;
+  /// Lifetime high-water mark of the sketch's allocated state — an
+  /// absolute figure, not a per-run delta (a peak is not differencable).
+  uint64_t peak_allocated_words = 0;
+  double wall_seconds = 0.0;
+};
+
+/// \brief Outcome of one `StreamEngine::Run`: one entry per registered
+/// sketch, in registration order.
+struct RunReport {
+  uint64_t stream_length = 0;
+  double wall_seconds = 0.0;
+  std::vector<SketchRunReport> sketches;
+
+  /// \brief The entry for `name`, or nullptr if no such sketch ran.
+  const SketchRunReport* Find(const std::string& name) const;
+
+  /// \brief Human-readable table (one line per sketch), for examples and
+  /// benchmark logs.
+  std::string ToString() const;
+};
+
+/// \brief Drives N registered sketches over one pass of a stream.
+///
+/// Every registered sketch keeps its own `StateAccountant` (construction
+/// wires one up internally in all library sketches), so the per-sketch
+/// state-change and word-write totals in the `RunReport` are isolated from
+/// each other. Registration order is preserved in reports; names must be
+/// unique.
+///
+/// The engine is how the repo expresses the paper's experimental shape —
+/// "run algorithm X and baselines Y, Z over the same stream and compare
+/// state changes" — without N separate stream passes.
+class StreamEngine {
+ public:
+  StreamEngine() = default;
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// \brief Registers an engine-owned sketch under `name`. Dies if `name`
+  /// is already taken or `sketch` is null. Returns the sketch for queries.
+  Sketch* Register(std::string name, std::unique_ptr<Sketch> sketch);
+
+  /// \brief Registers a caller-owned sketch (must outlive the engine).
+  Sketch* RegisterBorrowed(std::string name, Sketch* sketch);
+
+  /// \brief Number of registered sketches.
+  size_t size() const { return entries_.size(); }
+
+  /// \brief Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  /// \brief The sketch registered under `name`, or nullptr.
+  Sketch* Find(const std::string& name) const;
+
+  /// \brief Feeds every stream element to every registered sketch, in one
+  /// pass over `stream`, and reports per-sketch accountant deltas and
+  /// wall time. Can be called repeatedly; each call reports only its own
+  /// deltas (sketch state carries over, as in a continuous stream).
+  RunReport Run(const Stream& stream);
+
+  /// \brief The report of the most recent `Run` (empty before the first).
+  const RunReport& last_report() const { return last_report_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Sketch* sketch = nullptr;             // borrowed or == owned.get()
+    std::unique_ptr<Sketch> owned;
+  };
+
+  Sketch* RegisterEntry(std::string name, Sketch* borrowed,
+                        std::unique_ptr<Sketch> owned);
+
+  std::vector<Entry> entries_;
+  RunReport last_report_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_API_STREAM_ENGINE_H_

@@ -22,6 +22,20 @@ void AmsSketch::Update(Item item) {
   }
 }
 
+double AmsSketch::EstimateFrequency(Item item) const {
+  std::vector<double> row_means(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) {
+      const size_t i = r * cols_ + c;
+      const int sign = sign_hashes_[i].HashSign(item);
+      sum += sign * static_cast<double>(accumulators_->Peek(i));
+    }
+    row_means[r] = sum / static_cast<double>(cols_);
+  }
+  return Median(std::move(row_means));
+}
+
 double AmsSketch::EstimateF2() const {
   std::vector<double> row_means(rows_);
   for (size_t r = 0; r < rows_; ++r) {

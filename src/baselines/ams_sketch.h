@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/hashing.h"
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
@@ -20,7 +21,7 @@ namespace fewstate {
 /// of the mean over cols of Z^2. Every update writes all rows*cols
 /// accumulators, so the state-change count is Theta(m) — the classic moment
 /// estimation baseline the paper's Theorem 1.3 contrasts with.
-class AmsSketch : public StreamingAlgorithm {
+class AmsSketch : public Sketch {
  public:
   /// \brief `cols` averages control variance; `rows` medians control
   /// failure probability.
@@ -31,8 +32,14 @@ class AmsSketch : public StreamingAlgorithm {
   /// \brief Median-of-means estimate of F2.
   double EstimateF2() const;
 
-  const StateAccountant& accountant() const { return accountant_; }
-  StateAccountant* mutable_accountant() { return &accountant_; }
+  /// \brief Tug-of-war point query: median over rows of the mean over
+  /// cols of sign_rc(item) * Z_rc. Unbiased, with variance O(F2 / cols) —
+  /// much noisier than the heavy-hitter structures, but a legitimate
+  /// frequency estimator (and what makes AmsSketch a full `Sketch`).
+  double EstimateFrequency(Item item) const override;
+
+  const StateAccountant& accountant() const override { return accountant_; }
+  StateAccountant* mutable_accountant() override { return &accountant_; }
 
  private:
   size_t rows_;

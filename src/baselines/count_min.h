@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/hashing.h"
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
@@ -20,7 +21,7 @@ namespace fewstate {
 /// so every stream update is a state change (Theta(m) under the paper's
 /// metric). Width w gives additive error 2m/w with probability
 /// 1 - 2^{-depth} (or m/w under conservative update).
-class CountMin : public StreamingAlgorithm {
+class CountMin : public Sketch {
  public:
   /// \brief Creates a sketch of `depth` rows by `width` counters.
   ///
@@ -35,7 +36,7 @@ class CountMin : public StreamingAlgorithm {
   void Update(Item item) override;
 
   /// \brief Overestimate of the frequency of `item` (min over rows).
-  double EstimateFrequency(Item item) const;
+  double EstimateFrequency(Item item) const override;
 
   /// \brief Scans candidate universe [0, n) and reports items whose
   /// estimate is >= `threshold`. (CountMin alone cannot enumerate; the
@@ -47,8 +48,8 @@ class CountMin : public StreamingAlgorithm {
   size_t depth() const { return depth_; }
   size_t width() const { return width_; }
 
-  const StateAccountant& accountant() const { return accountant_; }
-  StateAccountant* mutable_accountant() { return &accountant_; }
+  const StateAccountant& accountant() const override { return accountant_; }
+  StateAccountant* mutable_accountant() override { return &accountant_; }
 
  private:
   size_t depth_;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/hashing.h"
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
@@ -20,14 +21,14 @@ namespace fewstate {
 /// (always a state change => Theta(m) state changes). The frequency
 /// estimate is the median over rows of sign * counter, with additive error
 /// O(||f||_2 / sqrt(width)) per row.
-class CountSketch : public StreamingAlgorithm {
+class CountSketch : public Sketch {
  public:
   CountSketch(size_t depth, size_t width, uint64_t seed);
 
   void Update(Item item) override;
 
   /// \brief Median-of-rows estimate of the frequency of `item`.
-  double EstimateFrequency(Item item) const;
+  double EstimateFrequency(Item item) const override;
 
   /// \brief Point-scans the universe [0, n) for estimates >= threshold.
   std::vector<HeavyHitter> HeavyHittersByScan(Item universe,
@@ -40,8 +41,8 @@ class CountSketch : public StreamingAlgorithm {
   size_t depth() const { return depth_; }
   size_t width() const { return width_; }
 
-  const StateAccountant& accountant() const { return accountant_; }
-  StateAccountant* mutable_accountant() { return &accountant_; }
+  const StateAccountant& accountant() const override { return accountant_; }
+  StateAccountant* mutable_accountant() override { return &accountant_; }
 
  private:
   size_t depth_;

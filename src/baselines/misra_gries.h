@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
 
@@ -18,7 +19,7 @@ namespace fewstate {
 /// with additive error at most m/(k+1). Every stream update mutates the
 /// summary, so the paper's state-change metric is Theta(m) — this is the
 /// canonical "writes on every update" baseline the paper contrasts with.
-class MisraGries : public StreamingAlgorithm {
+class MisraGries : public Sketch {
  public:
   /// \brief Creates a summary with capacity `k >= 1` counters.
   explicit MisraGries(size_t k);
@@ -26,7 +27,7 @@ class MisraGries : public StreamingAlgorithm {
   void Update(Item item) override;
 
   /// \brief Underestimate of the frequency of `item` (0 if not tracked).
-  double EstimateFrequency(Item item) const;
+  double EstimateFrequency(Item item) const override;
 
   /// \brief All items whose tracked count is >= `threshold`.
   std::vector<HeavyHitter> HeavyHitters(double threshold) const;
@@ -38,8 +39,8 @@ class MisraGries : public StreamingAlgorithm {
   size_t capacity() const { return k_; }
 
   /// \brief State-change instrumentation.
-  const StateAccountant& accountant() const { return accountant_; }
-  StateAccountant* mutable_accountant() { return &accountant_; }
+  const StateAccountant& accountant() const override { return accountant_; }
+  StateAccountant* mutable_accountant() override { return &accountant_; }
 
  private:
   size_t k_;

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
 
@@ -20,7 +21,7 @@ namespace fewstate {
 /// arrives and the summary is full, a minimum-count entry is replaced and
 /// its count inherited. Every update increments some counter, so the
 /// state-change count is Theta(m).
-class SpaceSaving : public StreamingAlgorithm {
+class SpaceSaving : public Sketch {
  public:
   /// \brief Creates a summary with capacity `k >= 1` counters.
   explicit SpaceSaving(size_t k);
@@ -29,7 +30,7 @@ class SpaceSaving : public StreamingAlgorithm {
 
   /// \brief Overestimate of the frequency of `item` (min count if not
   /// tracked, matching the classic guarantee f_j <= est <= f_j + min).
-  double EstimateFrequency(Item item) const;
+  double EstimateFrequency(Item item) const override;
 
   /// \brief Items whose tracked count >= `threshold`.
   std::vector<HeavyHitter> HeavyHitters(double threshold) const;
@@ -40,8 +41,8 @@ class SpaceSaving : public StreamingAlgorithm {
   size_t size() const { return counts_.size(); }
   size_t capacity() const { return k_; }
 
-  const StateAccountant& accountant() const { return accountant_; }
-  StateAccountant* mutable_accountant() { return &accountant_; }
+  const StateAccountant& accountant() const override { return accountant_; }
+  StateAccountant* mutable_accountant() override { return &accountant_; }
 
  private:
   struct Entry {

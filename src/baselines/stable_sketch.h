@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/hashing.h"
 #include "common/random.h"
 #include "common/stream_types.h"
@@ -33,7 +34,7 @@ namespace fewstate {
 ///    only (1+eps) accuracy for p < 1 (|<D+,f>| + |<D-,f>| = O(||f||_p));
 ///    for p >= 1 the mode still runs but the guarantee degrades, matching
 ///    the paper's scoping of Theorem 3.2 to p in (0, 1].
-class StableSketch : public StreamingAlgorithm {
+class StableSketch : public Sketch {
  public:
   enum class CounterMode { kExact, kMorris };
 
@@ -53,6 +54,10 @@ class StableSketch : public StreamingAlgorithm {
   /// \brief Estimate of ||f||_p.
   double EstimateLp() const;
 
+  /// \brief Stable sketches answer norm queries, not point queries; 0 is
+  /// the trivially valid underestimate (see `Sketch::EstimateFrequency`).
+  double EstimateFrequency(Item /*item*/) const override { return 0.0; }
+
   /// \brief Median over rows of |row value|, uncalibrated. The entropy
   /// estimator calibrates all its nodes from one shared Monte Carlo sample
   /// set (common random numbers), so it needs the raw statistic.
@@ -69,8 +74,8 @@ class StableSketch : public StreamingAlgorithm {
   size_t rows() const { return rows_; }
   CounterMode mode() const { return mode_; }
 
-  const StateAccountant& accountant() const { return *accountant_; }
-  StateAccountant* mutable_accountant() { return accountant_; }
+  const StateAccountant& accountant() const override { return *accountant_; }
+  StateAccountant* mutable_accountant() override { return accountant_; }
 
  private:
   /// p-stable entry D(r)[item], derived from hashes (same value every time

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/sketch.h"
 #include "baselines/stable_sketch.h"
 #include "common/random.h"
 #include "common/stream_types.h"
@@ -35,7 +36,7 @@ namespace fewstate {
 /// The stream length m is tracked by a Morris counter (state-change
 /// frugal); the universe size n and a length hint are assumed known a
 /// priori, as in Theorem 3.8.
-class EntropyEstimator : public StreamingAlgorithm {
+class EntropyEstimator : public Sketch {
  public:
   explicit EntropyEstimator(const EntropyEstimatorOptions& options);
 
@@ -48,14 +49,18 @@ class EntropyEstimator : public StreamingAlgorithm {
   /// \brief Estimate of the Shannon entropy (bits).
   double EstimateEntropy() const;
 
+  /// \brief Entropy estimator, not a point-query structure; 0 is the
+  /// trivially valid underestimate (see `Sketch::EstimateFrequency`).
+  double EstimateFrequency(Item /*item*/) const override { return 0.0; }
+
   /// \brief The interpolation nodes in use.
   const std::vector<double>& nodes() const { return nodes_; }
 
   /// \brief Per-node Fp estimates (diagnostics).
   std::vector<double> NodeMomentEstimates() const;
 
-  const StateAccountant& accountant() const { return accountant_; }
-  StateAccountant* mutable_accountant() { return &accountant_; }
+  const StateAccountant& accountant() const override { return accountant_; }
+  StateAccountant* mutable_accountant() override { return &accountant_; }
 
  private:
   EntropyEstimatorOptions options_;

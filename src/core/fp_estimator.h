@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/hashing.h"
 #include "common/random.h"
 #include "common/stream_types.h"
@@ -31,7 +32,7 @@ namespace fewstate {
 ///  * the contribution of level set i is estimated from subsampling level
 ///    ell(i) = max(1, i - shift) and rescaled by the inverse sampling
 ///    rate; Fp-hat is the sum of estimated contributions.
-class FpEstimator : public StreamingAlgorithm {
+class FpEstimator : public Sketch {
  public:
   explicit FpEstimator(const FpEstimatorOptions& options,
                        StateAccountant* shared_accountant = nullptr);
@@ -61,6 +62,10 @@ class FpEstimator : public StreamingAlgorithm {
   /// \brief Estimate of the Lp norm = EstimateFp()^{1/p}.
   double EstimateLp() const;
 
+  /// \brief Moment estimator, not a point-query structure; 0 is the
+  /// trivially valid underestimate (see `Sketch::EstimateFrequency`).
+  double EstimateFrequency(Item /*item*/) const override { return 0.0; }
+
   /// \brief Per-level-set contribution estimates at scale Mtilde = 2^z
   /// (diagnostics; index 0 is level set i = 1).
   std::vector<double> EstimateContributions(int z) const;
@@ -73,8 +78,8 @@ class FpEstimator : public StreamingAlgorithm {
   int level_set_shift() const { return shift_; }
   uint64_t updates_seen() const { return t_; }
 
-  const StateAccountant& accountant() const { return *accountant_; }
-  StateAccountant* mutable_accountant() { return accountant_; }
+  const StateAccountant& accountant() const override { return *accountant_; }
+  StateAccountant* mutable_accountant() override { return accountant_; }
 
  private:
   /// Tracked (item, estimate) pairs of inner structure (r, ell).

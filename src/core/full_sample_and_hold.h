@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/random.h"
 #include "common/stream_types.h"
 #include "core/options.h"
@@ -31,7 +32,7 @@ namespace fewstate {
 /// counts are impossible), so the maximum across substreams is the best
 /// valid underestimate. Each induced substream length is tracked by a
 /// Morris counter (paper Alg. 2 line 4), not an exact counter.
-class FullSampleAndHold : public StreamingAlgorithm {
+class FullSampleAndHold : public Sketch {
  public:
   explicit FullSampleAndHold(const FullSampleAndHoldOptions& options,
                              StateAccountant* shared_accountant = nullptr);
@@ -44,7 +45,7 @@ class FullSampleAndHold : public StreamingAlgorithm {
 
   /// \brief Combined (max-over-levels, median-over-repetitions)
   /// underestimate of the frequency of `item`.
-  double EstimateFrequency(Item item) const;
+  double EstimateFrequency(Item item) const override;
 
   /// \brief Every item tracked by at least one instance, with its combined
   /// estimate.
@@ -60,8 +61,8 @@ class FullSampleAndHold : public StreamingAlgorithm {
   size_t levels() const { return levels_; }
   uint64_t updates_seen() const { return t_; }
 
-  const StateAccountant& accountant() const { return *accountant_; }
-  StateAccountant* mutable_accountant() { return accountant_; }
+  const StateAccountant& accountant() const override { return *accountant_; }
+  StateAccountant* mutable_accountant() override { return accountant_; }
 
  private:
   size_t Index(size_t r, size_t x) const { return r * levels_ + x; }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/stream_types.h"
 #include "core/fp_estimator.h"
 #include "core/full_sample_and_hold.h"
@@ -22,7 +23,7 @@ namespace fewstate {
 /// estimate clears (eps/2) * Lp-hat — containing all true eps-heavy
 /// hitters and no item below (eps/4) ||f||_p, matching the theorem's
 /// guarantee shape.
-class LpHeavyHitters : public StreamingAlgorithm {
+class LpHeavyHitters : public Sketch {
  public:
   explicit LpHeavyHitters(const HeavyHittersOptions& options);
 
@@ -33,7 +34,7 @@ class LpHeavyHitters : public StreamingAlgorithm {
   void Update(Item item) override;
 
   /// \brief Underestimate of the frequency of `item`.
-  double EstimateFrequency(Item item) const;
+  double EstimateFrequency(Item item) const override;
 
   /// \brief Items reported as eps-heavy (threshold from the internal norm
   /// estimate).
@@ -48,8 +49,8 @@ class LpHeavyHitters : public StreamingAlgorithm {
 
   /// \brief Combined state-change count across both internal structures
   /// (they share one accountant).
-  const StateAccountant& accountant() const { return accountant_; }
-  StateAccountant* mutable_accountant() { return &accountant_; }
+  const StateAccountant& accountant() const override { return accountant_; }
+  StateAccountant* mutable_accountant() override { return &accountant_; }
 
  private:
   HeavyHittersOptions options_;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/random.h"
 #include "common/stream_types.h"
 #include "core/options.h"
@@ -42,7 +43,7 @@ namespace fewstate {
 /// environment, not internal state (consistent with the paper's §4 lower
 /// bound, where the algorithm may know t yet is charged only for memory
 /// writes).
-class SampleAndHold : public StreamingAlgorithm {
+class SampleAndHold : public Sketch {
  public:
   /// \brief Creates the structure; dies on invalid options (use
   /// `Create()` for Status-returning construction).
@@ -63,7 +64,7 @@ class SampleAndHold : public StreamingAlgorithm {
   /// \brief Estimated frequency of `item`: the value of its hold counter,
   /// or 0 if untracked. Always an underestimate of the true frequency (up
   /// to the Morris counter's (1+eps) accuracy).
-  double EstimateFrequency(Item item) const;
+  double EstimateFrequency(Item item) const override;
 
   /// \brief All currently held (item, estimate) pairs.
   std::vector<HeavyHitter> TrackedItems() const;
@@ -89,8 +90,8 @@ class SampleAndHold : public StreamingAlgorithm {
   /// \brief Updates consumed so far.
   uint64_t updates_seen() const { return t_; }
 
-  const StateAccountant& accountant() const { return *accountant_; }
-  StateAccountant* mutable_accountant() { return accountant_; }
+  const StateAccountant& accountant() const override { return *accountant_; }
+  StateAccountant* mutable_accountant() override { return accountant_; }
 
   const SampleAndHoldOptions& options() const { return options_; }
 

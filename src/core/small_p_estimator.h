@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "api/sketch.h"
 #include "baselines/stable_sketch.h"
 #include "common/stream_types.h"
 #include "core/options.h"
@@ -20,7 +21,7 @@ namespace fewstate {
 /// counters. The key fact (for p < 1): |<D+,f>| + |<D-,f>| = O(||f||_p),
 /// so (1+eps)-accurate monotone counters suffice for a (1+eps) Fp
 /// estimate while writing state only polylogarithmically often.
-class SmallPEstimator : public StreamingAlgorithm {
+class SmallPEstimator : public Sketch {
  public:
   explicit SmallPEstimator(const SmallPEstimatorOptions& options);
 
@@ -36,11 +37,15 @@ class SmallPEstimator : public StreamingAlgorithm {
   /// \brief Estimate of the Lp norm.
   double EstimateLp() const;
 
+  /// \brief Moment estimator, not a point-query structure; 0 is the
+  /// trivially valid underestimate (see `Sketch::EstimateFrequency`).
+  double EstimateFrequency(Item /*item*/) const override { return 0.0; }
+
   size_t rows() const;
   double p() const { return options_.p; }
 
-  const StateAccountant& accountant() const { return sketch_->accountant(); }
-  StateAccountant* mutable_accountant() {
+  const StateAccountant& accountant() const override { return sketch_->accountant(); }
+  StateAccountant* mutable_accountant() override {
     return sketch_->mutable_accountant();
   }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/sketch.h"
 #include "common/stream_types.h"
 #include "core/full_sample_and_hold.h"
 #include "core/options.h"
@@ -21,7 +22,7 @@ namespace fewstate {
 /// eps = 1/(c*k) — so a FullSampleAndHold instance at p = 1 with that
 /// accuracy recovers it using Otilde(k) state changes (n^{1-1/p} = 1 at
 /// p = 1; the k dependence enters through eps).
-class SparseRecovery : public StreamingAlgorithm {
+class SparseRecovery : public Sketch {
  public:
   explicit SparseRecovery(const SparseRecoveryOptions& options);
 
@@ -39,10 +40,20 @@ class SparseRecovery : public StreamingAlgorithm {
   /// \brief Recovered support with an explicit frequency threshold.
   std::vector<Item> RecoverSupportAbove(double threshold) const;
 
+  /// \brief Underestimate of the frequency of `item` (from the inner
+  /// FullSampleAndHold).
+  double EstimateFrequency(Item item) const override {
+    return structure_->EstimateFrequency(item);
+  }
+
   uint64_t updates_seen() const { return updates_seen_; }
 
-  const StateAccountant& accountant() const {
+  const StateAccountant& accountant() const override {
     return structure_->accountant();
+  }
+
+  StateAccountant* mutable_accountant() override {
+    return structure_->mutable_accountant();
   }
 
  private:

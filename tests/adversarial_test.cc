@@ -17,7 +17,9 @@ TEST(LowerBoundInstance, S1HasThePlantedBlockAndNothingElseRepeats) {
   const StreamStats stats(inst.s1);
   EXPECT_EQ(stats.Frequency(inst.planted_item), block);
   for (const auto& [item, f] : stats.frequencies()) {
-    if (item != inst.planted_item) EXPECT_EQ(f, 1u);
+    if (item != inst.planted_item) {
+      EXPECT_EQ(f, 1u);
+    }
   }
   // The block is contiguous.
   for (uint64_t t = 0; t < block; ++t) {

@@ -85,7 +85,9 @@ TEST(PlantedHeavyHitterStream, PlantsTheRightFrequency) {
   EXPECT_EQ(stats.Frequency(123), 5000u);
   // Everything else is light.
   for (const auto& [item, f] : stats.frequencies()) {
-    if (item != 123) EXPECT_LE(f, 3u);
+    if (item != 123) {
+      EXPECT_LE(f, 3u);
+    }
   }
 }
 
