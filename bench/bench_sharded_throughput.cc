@@ -1,0 +1,100 @@
+// E-shard — sharded ingest throughput and aggregated wear.
+//
+// Sweeps the shard count S in {1, 2, 4, 8} over one Zipf trace and
+// reports, per S: ingest throughput (items/sec), the aggregate
+// state-change and word-write totals across all shard replicas including
+// merge-time consolidation, and the merge share — the deployment question
+// the paper's per-device wear model raises: parallel ingest buys
+// throughput with replicated state, so total wear grows with S while
+// per-device wear shrinks.
+//
+// Usage: bench_sharded_throughput [stream_length] (default 2000000; CI's
+// ThreadSanitizer job passes a smaller length).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/count_min.h"
+#include "baselines/count_sketch.h"
+#include "baselines/space_saving.h"
+#include "baselines/stable_sketch.h"
+#include "bench_util.h"
+#include "shard/sharded_engine.h"
+#include "shard/sketch_factory.h"
+#include "stream/generators.h"
+
+using namespace fewstate;
+
+namespace {
+
+std::vector<SketchFactory> Roster() {
+  return {
+      SketchFactory::Of<CountMin>("count_min", size_t{4}, size_t{2048},
+                                  uint64_t{21}, false),
+      SketchFactory::Of<CountSketch>("count_sketch", size_t{5}, size_t{2048},
+                                     uint64_t{22}),
+      SketchFactory::Of<SpaceSaving>("space_saving", size_t{1024}),
+      SketchFactory::Of<StableSketch>("stable_morris", 0.5, size_t{32},
+                                      uint64_t{25},
+                                      StableSketch::CounterMode::kMorris),
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t kFlows = 50000;
+  uint64_t length = 2000000;
+  if (argc > 1) {
+    const long long parsed = std::atoll(argv[1]);
+    if (parsed > 0) length = static_cast<uint64_t>(parsed);
+  }
+
+  bench::Banner(
+      "E-shard bench_sharded_throughput", "sharded ingest scaling (§1.5 wear)",
+      "hash-partitioned S-way ingest multiplies throughput and replica "
+      "state; merged wear = sum of shard wear + consolidation writes");
+  std::printf("stream: %llu items over %llu flows (Zipf 1.2)\n\n",
+              (unsigned long long)length, (unsigned long long)kFlows);
+  const Stream trace = ZipfStream(kFlows, 1.2, length, /*seed=*/2024);
+
+  std::printf("%2s %12s %10s %16s %16s %14s %10s\n", "S", "items/sec",
+              "ingest_s", "state_changes", "word_writes", "merge_writes",
+              "merge_s");
+  bench::CsvHeader(RunReport::CsvHeader());
+  for (size_t shards : {1, 2, 4, 8}) {
+    ShardedEngineOptions options;
+    options.shards = shards;
+    options.batch_items = 8192;
+    ShardedEngine engine(options);
+    for (const SketchFactory& f : Roster()) {
+      const Status status = engine.AddSketch(f);
+      if (!status.ok()) {
+        std::fprintf(stderr, "AddSketch failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    const ShardedRunReport report = engine.Run(trace);
+
+    uint64_t state_changes = 0, word_writes = 0, merge_writes = 0;
+    for (const ShardedSketchReport& sk : report.sketches) {
+      state_changes += sk.total.state_changes;
+      word_writes += sk.total.word_writes;
+      merge_writes += sk.merge.word_writes;
+    }
+    bench::Row("%2zu %12.0f %10.4f %16llu %16llu %14llu %10.4f", shards,
+               report.items_per_second, report.ingest_seconds,
+               (unsigned long long)state_changes,
+               (unsigned long long)word_writes,
+               (unsigned long long)merge_writes, report.merge_seconds);
+    bench::CsvBlock(report.ToCsv("S=" + std::to_string(shards)));
+  }
+
+  std::printf(
+      "\nNote: totals aggregate every shard replica plus merge-time\n"
+      "consolidation — the wear an S-device deployment pays, not one\n"
+      "sketch's. items/sec covers the parallel ingest section only.\n");
+  return 0;
+}

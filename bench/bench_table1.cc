@@ -15,6 +15,7 @@
 
 #include <cinttypes>
 #include <memory>
+#include <string>
 
 #include "api/stream_engine.h"
 #include "baselines/count_min.h"
@@ -62,6 +63,7 @@ int main() {
   const double kEps = 0.3;  // L2 heavy hitter threshold
   std::printf("%-22s %-12s %10s %14s %10s %8s\n", "algorithm", "guarantee",
               "m", "state_changes", "chg/m", "recall");
+  bench::CsvHeader(RunReport::CsvHeader());
 
   for (uint64_t m : {100000ULL, 300000ULL, 1000000ULL, 3000000ULL}) {
     const Stream stream = ZipfStream(n, 1.3, m, /*seed=*/1000 + m);
@@ -105,6 +107,7 @@ int main() {
                   static_cast<double>(changes) / static_cast<double>(m),
                   Recall(row.reported, truth));
     }
+    bench::CsvBlock(report.ToCsv("m=" + std::to_string(m)));
     std::printf("\n");
   }
   return 0;

@@ -36,6 +36,29 @@ inline void Section(const char* title) {
   std::printf("\n--- %s ---\n", title);
 }
 
+/// Machine-readable output: every line of `csv` (e.g. from
+/// `RunReport::ToCsv` / `ShardedRunReport::ToCsv`) is printed prefixed
+/// with "CSV," so a whole trajectory can be scraped out of mixed bench
+/// output with `grep '^CSV,' | cut -d, -f2-`.
+inline void CsvBlock(const std::string& csv) {
+  size_t begin = 0;
+  while (begin < csv.size()) {
+    size_t end = csv.find('\n', begin);
+    if (end == std::string::npos) end = csv.size();
+    if (end > begin) {
+      std::printf("CSV,%.*s\n", static_cast<int>(end - begin),
+                  csv.data() + begin);
+    }
+    begin = end + 1;
+  }
+}
+
+/// Emits the shared report column header as a CSV line (call once, before
+/// the sweep's `CsvBlock` rows).
+inline void CsvHeader(const std::string& header) {
+  CsvBlock(header + "\n");
+}
+
 }  // namespace fewstate::bench
 
 #endif  // FEWSTATE_BENCH_BENCH_UTIL_H_

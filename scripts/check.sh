@@ -5,6 +5,14 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Formatting gate (skipped with a note where clang-format is absent, e.g.
+# minimal containers; CI images have it).
+if command -v clang-format >/dev/null 2>&1; then
+  git ls-files '*.h' '*.cc' '*.cpp' | xargs clang-format --dry-run --Werror
+else
+  echo "check.sh: clang-format not found; skipping format check" >&2
+fi
+
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"

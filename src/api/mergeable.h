@@ -1,0 +1,81 @@
+#ifndef FEWSTATE_API_MERGEABLE_H_
+#define FEWSTATE_API_MERGEABLE_H_
+
+#include "api/sketch.h"
+#include "common/status.h"
+
+namespace fewstate {
+
+/// \brief A `Sketch` whose state can absorb another replica's state.
+///
+/// Merging is what turns a single-threaded summary into a sharded one: a
+/// stream partitioned across S identically-configured replicas is
+/// equivalent (exactly, for the linear sketches; up to the usual summary
+/// error, for the counter-based ones) to one replica that saw the whole
+/// stream, provided the replicas can be combined afterwards. `ShardedEngine`
+/// relies on this contract.
+///
+/// Contract:
+///  * `MergeFrom(other)` folds `other`'s state into `*this`. `other` must
+///    be the same concrete type with an identical configuration (same
+///    dimensions *and* same seed, so hash functions agree); anything else
+///    returns `InvalidArgument` and leaves `*this` untouched.
+///  * Merge-time mutations are algorithmic state changes and are routed
+///    through the destination's `StateAccountant`: one merge opens one
+///    accounting epoch (`BeginUpdate`), so it contributes at most 1 to the
+///    paper's per-update state-change metric while every touched word
+///    counts toward `word_writes` — the wear a deployed device actually
+///    pays to consolidate shards.
+///  * The source is read-only; its accountant sees reads at most.
+///
+/// Structures whose state is not mergeable (the sample-and-hold family —
+/// their reservoirs and dyadic-age maintenance are tied to one stream
+/// prefix) simply do not derive from this class; `IsMergeable` reports the
+/// property statically, by type.
+class MergeableSketch : public Sketch {
+ public:
+  ~MergeableSketch() override = default;
+
+  /// \brief Folds `other` (same concrete type and configuration) into this
+  /// sketch. On error the destination is unchanged.
+  virtual Status MergeFrom(const Sketch& other) = 0;
+};
+
+/// \brief Shared `MergeFrom` prologue: resolves `other` as a `ConcreteT`
+/// and rejects self-merges. Returns nullptr with `*status` set on failure;
+/// the caller then only has to check its own configuration fields:
+///
+///   Status status;
+///   const auto* src = MergeSourceAs<CountMin>(this, other, &status);
+///   if (src == nullptr) return status;
+template <typename ConcreteT>
+const ConcreteT* MergeSourceAs(const MergeableSketch* self,
+                               const Sketch& other, Status* status) {
+  const auto* src = dynamic_cast<const ConcreteT*>(&other);
+  if (src == nullptr) {
+    *status = Status::InvalidArgument(
+        "MergeFrom: source is not the destination's concrete type");
+    return nullptr;
+  }
+  if (src == self) {
+    *status = Status::InvalidArgument("MergeFrom: cannot merge with self");
+    return nullptr;
+  }
+  *status = Status::OK();
+  return src;
+}
+
+/// \brief True iff `sketch` implements the merge contract.
+inline bool IsMergeable(const Sketch& sketch) {
+  return dynamic_cast<const MergeableSketch*>(&sketch) != nullptr;
+}
+
+/// \brief Downcast to the merge interface; nullptr for non-mergeable
+/// sketches.
+inline MergeableSketch* AsMergeable(Sketch* sketch) {
+  return dynamic_cast<MergeableSketch*>(sketch);
+}
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_API_MERGEABLE_H_

@@ -8,28 +8,26 @@
 
 namespace fewstate {
 
-namespace {
+AccountantSnapshot AccountantSnapshot::Of(const StateAccountant& a) {
+  AccountantSnapshot s;
+  s.updates = a.updates();
+  s.state_changes = a.state_changes();
+  s.word_writes = a.word_writes();
+  s.suppressed_writes = a.suppressed_writes();
+  s.word_reads = a.word_reads();
+  return s;
+}
 
-/// Snapshot of the accountant counters used to compute per-run deltas.
-struct AccountantSnapshot {
-  uint64_t updates = 0;
-  uint64_t state_changes = 0;
-  uint64_t word_writes = 0;
-  uint64_t suppressed_writes = 0;
-  uint64_t word_reads = 0;
-
-  static AccountantSnapshot Of(const StateAccountant& a) {
-    AccountantSnapshot s;
-    s.updates = a.updates();
-    s.state_changes = a.state_changes();
-    s.word_writes = a.word_writes();
-    s.suppressed_writes = a.suppressed_writes();
-    s.word_reads = a.word_reads();
-    return s;
-  }
-};
-
-}  // namespace
+SketchRunReport AccountantSnapshot::DeltaTo(
+    const AccountantSnapshot& after) const {
+  SketchRunReport d;
+  d.updates = after.updates - updates;
+  d.state_changes = after.state_changes - state_changes;
+  d.word_writes = after.word_writes - word_writes;
+  d.suppressed_writes = after.suppressed_writes - suppressed_writes;
+  d.word_reads = after.word_reads - word_reads;
+  return d;
+}
 
 const SketchRunReport* RunReport::Find(const std::string& name) const {
   for (const SketchRunReport& s : sketches) {
@@ -57,6 +55,37 @@ std::string RunReport::ToString() const {
         static_cast<unsigned long long>(s.peak_allocated_words),
         s.wall_seconds);
     out += line;
+  }
+  return out;
+}
+
+std::string RunReport::CsvHeader() {
+  return "label,sketch,updates,state_changes,word_writes,suppressed_writes,"
+         "word_reads,peak_words,wall_seconds";
+}
+
+std::string SketchReportCsvRow(const std::string& label,
+                               const std::string& sketch,
+                               const SketchRunReport& row) {
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%.6f",
+                label.c_str(), sketch.c_str(),
+                static_cast<unsigned long long>(row.updates),
+                static_cast<unsigned long long>(row.state_changes),
+                static_cast<unsigned long long>(row.word_writes),
+                static_cast<unsigned long long>(row.suppressed_writes),
+                static_cast<unsigned long long>(row.word_reads),
+                static_cast<unsigned long long>(row.peak_allocated_words),
+                row.wall_seconds);
+  return line;
+}
+
+std::string RunReport::ToCsv(const std::string& label) const {
+  std::string out;
+  for (const SketchRunReport& s : sketches) {
+    out += SketchReportCsvRow(label, s.name, s);
+    out += '\n';
   }
   return out;
 }
@@ -139,15 +168,9 @@ RunReport StreamEngine::Run(const Stream& stream) {
 
   for (size_t i = 0; i < entries_.size(); ++i) {
     const StateAccountant& a = entries_[i].sketch->accountant();
-    const AccountantSnapshot after = AccountantSnapshot::Of(a);
     SketchRunReport& s = report.sketches[i];
+    s = before[i].DeltaTo(AccountantSnapshot::Of(a));
     s.name = entries_[i].name;
-    s.updates = after.updates - before[i].updates;
-    s.state_changes = after.state_changes - before[i].state_changes;
-    s.word_writes = after.word_writes - before[i].word_writes;
-    s.suppressed_writes =
-        after.suppressed_writes - before[i].suppressed_writes;
-    s.word_reads = after.word_reads - before[i].word_reads;
     s.peak_allocated_words = a.peak_allocated_words();
     s.wall_seconds = sketch_seconds[i];
   }

@@ -41,6 +41,40 @@ struct RunReport {
   /// \brief Human-readable table (one line per sketch), for examples and
   /// benchmark logs.
   std::string ToString() const;
+
+  /// \brief Column header shared by all report CSV emitters:
+  /// `label,sketch,updates,state_changes,word_writes,suppressed_writes,
+  /// word_reads,peak_words,wall_seconds`.
+  static std::string CsvHeader();
+
+  /// \brief One CSV row per sketch under `CsvHeader()` columns, each
+  /// prefixed with `label` (e.g. the stream length or sweep point, so
+  /// whole trajectories can be scraped from bench output).
+  std::string ToCsv(const std::string& label) const;
+};
+
+/// \brief One `CsvHeader()`-shaped CSV row (used by both engines' report
+/// emitters).
+std::string SketchReportCsvRow(const std::string& label,
+                               const std::string& sketch,
+                               const SketchRunReport& row);
+
+/// \brief Value snapshot of an accountant's counters, shared by the
+/// engines to turn before/after pairs into per-run (or per-phase) report
+/// deltas. Extend this (and `DeltaTo`) when `StateAccountant` grows a
+/// counter, so `StreamEngine` and `ShardedEngine` reports stay in sync.
+struct AccountantSnapshot {
+  uint64_t updates = 0;
+  uint64_t state_changes = 0;
+  uint64_t word_writes = 0;
+  uint64_t suppressed_writes = 0;
+  uint64_t word_reads = 0;
+
+  static AccountantSnapshot Of(const StateAccountant& a);
+
+  /// \brief The counter deltas accumulated between this snapshot and
+  /// `after`, as a report row (name/peak/wall left for the caller).
+  SketchRunReport DeltaTo(const AccountantSnapshot& after) const;
 };
 
 /// \brief Drives N registered sketches over one pass of a stream.

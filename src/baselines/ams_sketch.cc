@@ -5,7 +5,7 @@
 namespace fewstate {
 
 AmsSketch::AmsSketch(size_t rows, size_t cols, uint64_t seed)
-    : rows_(rows == 0 ? 1 : rows), cols_(cols == 0 ? 1 : cols) {
+    : rows_(rows == 0 ? 1 : rows), cols_(cols == 0 ? 1 : cols), seed_(seed) {
   sign_hashes_.reserve(rows_ * cols_);
   for (size_t i = 0; i < rows_ * cols_; ++i) {
     sign_hashes_.emplace_back(/*independence=*/4, Mix64(seed + 977 * i + 5));
@@ -20,6 +20,20 @@ void AmsSketch::Update(Item item) {
     const int sign = sign_hashes_[i].HashSign(item);
     accumulators_->Set(i, accumulators_->Get(i) + sign);
   }
+}
+
+Status AmsSketch::MergeFrom(const Sketch& other) {
+  Status status;
+  const auto* src = MergeSourceAs<AmsSketch>(this, other, &status);
+  if (src == nullptr) return status;
+  if (src->rows_ != rows_ || src->cols_ != cols_ || src->seed_ != seed_) {
+    return Status::InvalidArgument(
+        "AmsSketch::MergeFrom: incompatible configuration (rows, cols and "
+        "seed must match)");
+  }
+  accountant_.BeginUpdate();
+  AddTrackedArray(accumulators_.get(), *src->accumulators_);
+  return Status::OK();
 }
 
 double AmsSketch::EstimateFrequency(Item item) const {

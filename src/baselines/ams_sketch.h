@@ -6,8 +6,9 @@
 #include <memory>
 #include <vector>
 
-#include "api/sketch.h"
+#include "api/mergeable.h"
 #include "common/hashing.h"
+#include "common/status.h"
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
 #include "state/tracked.h"
@@ -21,13 +22,19 @@ namespace fewstate {
 /// of the mean over cols of Z^2. Every update writes all rows*cols
 /// accumulators, so the state-change count is Theta(m) — the classic moment
 /// estimation baseline the paper's Theorem 1.3 contrasts with.
-class AmsSketch : public Sketch {
+class AmsSketch : public MergeableSketch {
  public:
   /// \brief `cols` averages control variance; `rows` medians control
   /// failure probability.
   AmsSketch(size_t rows, size_t cols, uint64_t seed);
 
   void Update(Item item) override;
+
+  /// \brief Adds another AMS sketch's accumulators element-wise. The
+  /// tug-of-war accumulators are linear in the frequency vector, so
+  /// merging identically-configured shard replicas (same rows, cols, seed)
+  /// is exactly equivalent to one sketch over the concatenated streams.
+  Status MergeFrom(const Sketch& other) override;
 
   /// \brief Median-of-means estimate of F2.
   double EstimateF2() const;
@@ -44,6 +51,7 @@ class AmsSketch : public Sketch {
  private:
   size_t rows_;
   size_t cols_;
+  uint64_t seed_;
   StateAccountant accountant_;
   std::vector<PolynomialHash> sign_hashes_;  // one per accumulator
   std::unique_ptr<TrackedArray<int64_t>> accumulators_;

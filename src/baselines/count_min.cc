@@ -9,6 +9,7 @@ CountMin::CountMin(size_t depth, size_t width, uint64_t seed,
                    bool conservative)
     : depth_(depth == 0 ? 1 : depth),
       width_(width == 0 ? 1 : width),
+      seed_(seed),
       conservative_(conservative) {
   hashes_.reserve(depth_);
   for (size_t d = 0; d < depth_; ++d) {
@@ -42,6 +43,22 @@ void CountMin::Update(Item item) {
       table_->Set(idxs[d], target);
     }
   }
+}
+
+Status CountMin::MergeFrom(const Sketch& other) {
+  Status status;
+  const auto* src = MergeSourceAs<CountMin>(this, other, &status);
+  if (src == nullptr) return status;
+  if (src->depth_ != depth_ || src->width_ != width_ || src->seed_ != seed_ ||
+      src->conservative_ != conservative_) {
+    return Status::InvalidArgument(
+        "CountMin::MergeFrom: incompatible configuration (depth, width, seed "
+        "and update mode must match)");
+  }
+  // One merge is one accounting epoch.
+  accountant_.BeginUpdate();
+  AddTrackedArray(table_.get(), *src->table_);
+  return Status::OK();
 }
 
 double CountMin::EstimateFrequency(Item item) const {

@@ -6,8 +6,9 @@
 #include <memory>
 #include <vector>
 
-#include "api/sketch.h"
+#include "api/mergeable.h"
 #include "common/hashing.h"
+#include "common/status.h"
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
 #include "state/tracked.h"
@@ -21,7 +22,7 @@ namespace fewstate {
 /// so every stream update is a state change (Theta(m) under the paper's
 /// metric). Width w gives additive error 2m/w with probability
 /// 1 - 2^{-depth} (or m/w under conservative update).
-class CountMin : public Sketch {
+class CountMin : public MergeableSketch {
  public:
   /// \brief Creates a sketch of `depth` rows by `width` counters.
   ///
@@ -34,6 +35,14 @@ class CountMin : public Sketch {
            bool conservative = false);
 
   void Update(Item item) override;
+
+  /// \brief Adds another CountMin's table cell-wise. The grids are linear
+  /// in the frequency vector, so merging shard replicas (same depth, width
+  /// and seed) is *exactly* equivalent to one sketch over the concatenated
+  /// streams — except under conservative update, where the merged table is
+  /// still a valid overestimate but no longer bitwise-identical to a
+  /// single-pass run.
+  Status MergeFrom(const Sketch& other) override;
 
   /// \brief Overestimate of the frequency of `item` (min over rows).
   double EstimateFrequency(Item item) const override;
@@ -54,6 +63,7 @@ class CountMin : public Sketch {
  private:
   size_t depth_;
   size_t width_;
+  uint64_t seed_;
   bool conservative_;
   StateAccountant accountant_;
   std::vector<PolynomialHash> hashes_;

@@ -5,7 +5,9 @@
 namespace fewstate {
 
 CountSketch::CountSketch(size_t depth, size_t width, uint64_t seed)
-    : depth_(depth == 0 ? 1 : depth), width_(width == 0 ? 1 : width) {
+    : depth_(depth == 0 ? 1 : depth),
+      width_(width == 0 ? 1 : width),
+      seed_(seed) {
   bucket_hashes_.reserve(depth_);
   sign_hashes_.reserve(depth_);
   for (size_t d = 0; d < depth_; ++d) {
@@ -25,6 +27,20 @@ void CountSketch::Update(Item item) {
     const int sign = sign_hashes_[d].HashSign(item);
     table_->Set(idx, table_->Get(idx) + sign);
   }
+}
+
+Status CountSketch::MergeFrom(const Sketch& other) {
+  Status status;
+  const auto* src = MergeSourceAs<CountSketch>(this, other, &status);
+  if (src == nullptr) return status;
+  if (src->depth_ != depth_ || src->width_ != width_ || src->seed_ != seed_) {
+    return Status::InvalidArgument(
+        "CountSketch::MergeFrom: incompatible configuration (depth, width "
+        "and seed must match)");
+  }
+  accountant_.BeginUpdate();
+  AddTrackedArray(table_.get(), *src->table_);
+  return Status::OK();
 }
 
 double CountSketch::EstimateFrequency(Item item) const {

@@ -6,8 +6,9 @@
 #include <memory>
 #include <vector>
 
-#include "api/sketch.h"
+#include "api/mergeable.h"
 #include "common/hashing.h"
+#include "common/status.h"
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
 #include "state/tracked.h"
@@ -21,11 +22,17 @@ namespace fewstate {
 /// (always a state change => Theta(m) state changes). The frequency
 /// estimate is the median over rows of sign * counter, with additive error
 /// O(||f||_2 / sqrt(width)) per row.
-class CountSketch : public Sketch {
+class CountSketch : public MergeableSketch {
  public:
   CountSketch(size_t depth, size_t width, uint64_t seed);
 
   void Update(Item item) override;
+
+  /// \brief Adds another CountSketch's table cell-wise. The sketch is
+  /// linear, so merging identically-configured shard replicas (same depth,
+  /// width, seed) is exactly equivalent to one sketch over the
+  /// concatenated streams.
+  Status MergeFrom(const Sketch& other) override;
 
   /// \brief Median-of-rows estimate of the frequency of `item`.
   double EstimateFrequency(Item item) const override;
@@ -47,6 +54,7 @@ class CountSketch : public Sketch {
  private:
   size_t depth_;
   size_t width_;
+  uint64_t seed_;
   StateAccountant accountant_;
   std::vector<PolynomialHash> bucket_hashes_;
   std::vector<PolynomialHash> sign_hashes_;

@@ -1,5 +1,8 @@
 #include "baselines/misra_gries.h"
 
+#include <algorithm>
+#include <functional>
+
 namespace fewstate {
 
 MisraGries::MisraGries(size_t k) : k_(k == 0 ? 1 : k) {
@@ -31,6 +34,48 @@ void MisraGries::Update(Item item) {
       ++iter;
     }
   }
+}
+
+Status MisraGries::MergeFrom(const Sketch& other) {
+  Status status;
+  const auto* src = MergeSourceAs<MisraGries>(this, other, &status);
+  if (src == nullptr) return status;
+  if (src->k_ != k_) {
+    return Status::InvalidArgument(
+        "MisraGries::MergeFrom: capacities must match");
+  }
+  accountant_.BeginUpdate();
+  for (const auto& [item, count] : src->counts_) {
+    accountant_.RecordRead();
+    auto it = counts_.find(item);
+    if (it != counts_.end()) {
+      it->second += count;
+      accountant_.RecordWrite(cells_base_ + 1);
+    } else {
+      counts_.emplace(item, count);
+      accountant_.RecordWrite(cells_base_, 2);
+    }
+  }
+  if (counts_.size() > k_) {
+    // Subtract the (k+1)-th largest count from everyone; at most k entries
+    // can stay strictly positive.
+    std::vector<uint64_t> order;
+    order.reserve(counts_.size());
+    for (const auto& [item, count] : counts_) order.push_back(count);
+    std::nth_element(order.begin(), order.begin() + k_, order.end(),
+                     std::greater<uint64_t>());
+    const uint64_t decrement = order[k_];
+    for (auto iter = counts_.begin(); iter != counts_.end();) {
+      accountant_.RecordWrite(cells_base_ + 1);
+      if (iter->second <= decrement) {
+        iter = counts_.erase(iter);
+      } else {
+        iter->second -= decrement;
+        ++iter;
+      }
+    }
+  }
+  return Status::OK();
 }
 
 double MisraGries::EstimateFrequency(Item item) const {

@@ -6,7 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "api/sketch.h"
+#include "api/mergeable.h"
+#include "common/status.h"
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
 
@@ -19,12 +20,20 @@ namespace fewstate {
 /// with additive error at most m/(k+1). Every stream update mutates the
 /// summary, so the paper's state-change metric is Theta(m) — this is the
 /// canonical "writes on every update" baseline the paper contrasts with.
-class MisraGries : public Sketch {
+class MisraGries : public MergeableSketch {
  public:
   /// \brief Creates a summary with capacity `k >= 1` counters.
   explicit MisraGries(size_t k);
 
   void Update(Item item) override;
+
+  /// \brief The classic mergeable-summaries combine [ACHPWY12]: counts of
+  /// common items add; if the union exceeds k entries, the (k+1)-th
+  /// largest count is subtracted from every entry and non-positive entries
+  /// are evicted. Error bounds add (each summary stays within m/(k+1) of
+  /// its own substream), so a sharded run keeps the MG guarantee on the
+  /// combined stream.
+  Status MergeFrom(const Sketch& other) override;
 
   /// \brief Underestimate of the frequency of `item` (0 if not tracked).
   double EstimateFrequency(Item item) const override;

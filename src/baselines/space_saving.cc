@@ -43,6 +43,42 @@ void SpaceSaving::Update(Item item) {
   accountant_.RecordWrite(cells_base_, 3);
 }
 
+Status SpaceSaving::MergeFrom(const Sketch& other) {
+  Status status;
+  const auto* src = MergeSourceAs<SpaceSaving>(this, other, &status);
+  if (src == nullptr) return status;
+  if (src->k_ != k_) {
+    return Status::InvalidArgument(
+        "SpaceSaving::MergeFrom: capacities must match");
+  }
+  accountant_.BeginUpdate();
+  for (const auto& [item, entry] : src->counts_) {
+    accountant_.RecordRead();
+    auto it = counts_.find(item);
+    if (it != counts_.end()) {
+      RemoveFromBucket(it->second.count, item);
+      it->second.count += entry.count;
+      it->second.error += entry.error;
+      count_buckets_[it->second.count].insert(item);
+      accountant_.RecordWrite(cells_base_ + 1, 2);
+    } else {
+      counts_.emplace(item, entry);
+      count_buckets_[entry.count].insert(item);
+      accountant_.RecordWrite(cells_base_, 3);
+    }
+  }
+  // Prune the union back to capacity, smallest counts first. Accounting is
+  // at Update()'s slot granularity: each eviction compacts one 3-word slot.
+  while (counts_.size() > k_) {
+    auto min_node = count_buckets_.begin();
+    const Item victim = *min_node->second.begin();
+    RemoveFromBucket(min_node->first, victim);
+    counts_.erase(victim);
+    accountant_.RecordWrite(cells_base_, 3);
+  }
+  return Status::OK();
+}
+
 double SpaceSaving::EstimateFrequency(Item item) const {
   auto it = counts_.find(item);
   if (it != counts_.end()) return static_cast<double>(it->second.count);

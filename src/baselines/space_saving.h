@@ -8,7 +8,8 @@
 #include <unordered_set>
 #include <vector>
 
-#include "api/sketch.h"
+#include "api/mergeable.h"
+#include "common/status.h"
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
 
@@ -21,12 +22,23 @@ namespace fewstate {
 /// arrives and the summary is full, a minimum-count entry is replaced and
 /// its count inherited. Every update increments some counter, so the
 /// state-change count is Theta(m).
-class SpaceSaving : public Sketch {
+class SpaceSaving : public MergeableSketch {
  public:
   /// \brief Creates a summary with capacity `k >= 1` counters.
   explicit SpaceSaving(size_t k);
 
   void Update(Item item) override;
+
+  /// \brief Standard practical SpaceSaving combine: counts and error
+  /// bounds of common items add, other entries are inserted, then the
+  /// union is pruned back to the k largest counts. When the two summaries
+  /// saw item-disjoint substreams — exactly the `ShardedEngine`
+  /// hash-partition shape — every estimate (tracked, or untracked via
+  /// `min_count()`, which is >= any pruned entry's count) remains an
+  /// overestimate of the item's combined frequency. For overlapping
+  /// streams an item tracked on only one side can undershoot by at most
+  /// the other summary's `min_count()`.
+  Status MergeFrom(const Sketch& other) override;
 
   /// \brief Overestimate of the frequency of `item` (min count if not
   /// tracked, matching the classic guarantee f_j <= est <= f_j + min).

@@ -15,7 +15,9 @@ StableSketch::StableSketch(double p, size_t rows, uint64_t seed,
                            bool manage_epochs)
     : p_(p),
       rows_(rows == 0 ? 1 : rows),
+      seed_(seed),
       mode_(mode),
+      morris_a_(morris_a),
       manage_epochs_(manage_epochs),
       rng_(Mix64(seed ^ 0x57ab1e5ce7c4ULL)),
       theta_hash_(Mix64(seed * 3 + 1)),
@@ -66,6 +68,30 @@ void StableSketch::Update(Item item) {
       neg_counters_[r].Add(-e);
     }
   }
+}
+
+Status StableSketch::MergeFrom(const Sketch& other) {
+  Status status;
+  const auto* src = MergeSourceAs<StableSketch>(this, other, &status);
+  if (src == nullptr) return status;
+  if (src->p_ != p_ || src->rows_ != rows_ || src->seed_ != seed_ ||
+      src->mode_ != mode_ || src->morris_a_ != morris_a_) {
+    return Status::InvalidArgument(
+        "StableSketch::MergeFrom: incompatible configuration (p, rows, "
+        "seed, counter mode and Morris growth must match)");
+  }
+  if (manage_epochs_) accountant_->BeginUpdate();
+  if (mode_ == CounterMode::kExact) {
+    AddTrackedArray(exact_rows_.get(), *src->exact_rows_);
+    return Status::OK();
+  }
+  for (size_t r = 0; r < rows_; ++r) {
+    // Growth parameters were checked above, so the per-counter merges
+    // cannot fail.
+    pos_counters_[r].Merge(src->pos_counters_[r]);
+    neg_counters_[r].Merge(src->neg_counters_[r]);
+  }
+  return Status::OK();
 }
 
 double StableSketch::MedianAbsRowValue() const {

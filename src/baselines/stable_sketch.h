@@ -6,9 +6,10 @@
 #include <memory>
 #include <vector>
 
-#include "api/sketch.h"
+#include "api/mergeable.h"
 #include "common/hashing.h"
 #include "common/random.h"
+#include "common/status.h"
 #include "common/stream_types.h"
 #include "counters/morris_counter.h"
 #include "state/state_accountant.h"
@@ -34,7 +35,7 @@ namespace fewstate {
 ///    only (1+eps) accuracy for p < 1 (|<D+,f>| + |<D-,f>| = O(||f||_p));
 ///    for p >= 1 the mode still runs but the guarantee degrades, matching
 ///    the paper's scoping of Theorem 3.2 to p in (0, 1].
-class StableSketch : public Sketch {
+class StableSketch : public MergeableSketch {
  public:
   enum class CounterMode { kExact, kMorris };
 
@@ -50,6 +51,15 @@ class StableSketch : public Sketch {
                bool manage_epochs = true);
 
   void Update(Item item) override;
+
+  /// \brief Folds an identically-configured replica (same p, rows, seed,
+  /// mode, Morris growth) into this sketch. In `kExact` mode the row
+  /// accumulators are linear, so the merge is exact. In `kMorris` mode the
+  /// positive/negative partial inner products are monotone sums, so each
+  /// pair of Morris counters merges via `MorrisCounter::Merge` — the
+  /// combined estimate stays unbiased at the cost of one extra rounding
+  /// variance term per merge.
+  Status MergeFrom(const Sketch& other) override;
 
   /// \brief Estimate of ||f||_p.
   double EstimateLp() const;
@@ -84,7 +94,9 @@ class StableSketch : public Sketch {
 
   double p_;
   size_t rows_;
+  uint64_t seed_;
   CounterMode mode_;
+  double morris_a_;
   bool manage_epochs_;
   std::unique_ptr<StateAccountant> owned_accountant_;
   StateAccountant* accountant_;

@@ -64,6 +64,15 @@ void MorrisCounter::Add(double w) {
   }
 }
 
+Status MorrisCounter::Merge(const MorrisCounter& other) {
+  if (a_ != other.a_) {
+    return Status::InvalidArgument(
+        "MorrisCounter::Merge: growth parameters differ");
+  }
+  Add(other.Estimate());
+  return Status::OK();
+}
+
 double MorrisCounter::Estimate() const { return ValueAt(level_.Peek()); }
 
 }  // namespace fewstate

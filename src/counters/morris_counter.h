@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "state/state_accountant.h"
 #include "state/tracked.h"
 
@@ -48,6 +49,14 @@ class MorrisCounter {
 
   /// \brief Adds a non-negative real weight.
   void Add(double w);
+
+  /// \brief Folds another counter (same growth parameter `a`) into this
+  /// one: the level jumps to represent the sum of both estimates, via the
+  /// same probabilistic rounding as `Add`, so the merged estimate stays
+  /// unbiased and the jump costs at most one tracked write. The source is
+  /// not modified. This is what makes sharded Morris-backed sketches
+  /// consolidable.
+  Status Merge(const MorrisCounter& other);
 
   /// \brief Unbiased estimate of the accumulated count/weight.
   double Estimate() const;

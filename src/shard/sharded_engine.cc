@@ -1,0 +1,355 @@
+#include "shard/sharded_engine.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+
+namespace fewstate {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+void Accumulate(SketchRunReport* into, const SketchRunReport& delta) {
+  into->updates += delta.updates;
+  into->state_changes += delta.state_changes;
+  into->word_writes += delta.word_writes;
+  into->suppressed_writes += delta.suppressed_writes;
+  into->word_reads += delta.word_reads;
+  into->wall_seconds += delta.wall_seconds;
+}
+
+/// Bounded FIFO of item batches between the partitioner and one shard
+/// worker. `Push` blocks when the worker is `max_batches` behind
+/// (backpressure); `Pop` blocks until a batch arrives or the queue is
+/// closed and drained.
+class BatchQueue {
+ public:
+  explicit BatchQueue(size_t max_batches)
+      : max_batches_(max_batches == 0 ? 1 : max_batches) {}
+
+  void Push(Stream batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return batches_.size() < max_batches_; });
+    batches_.push_back(std::move(batch));
+    not_empty_.notify_one();
+  }
+
+  bool Pop(Stream* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !batches_.empty() || closed_; });
+    if (batches_.empty()) return false;
+    *out = std::move(batches_.front());
+    batches_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Stream> batches_;
+  size_t max_batches_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+const ShardedSketchReport* ShardedRunReport::Find(
+    const std::string& name) const {
+  for (const ShardedSketchReport& s : sketches) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string ShardedRunReport::ToString() const {
+  std::string out;
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "sharded run: shards=%zu batch=%zu stream_length=%llu "
+                "ingest=%.6fs merge=%.6fs wall=%.6fs throughput=%.0f items/s\n",
+                shards, batch_items,
+                static_cast<unsigned long long>(stream_length),
+                ingest_seconds, merge_seconds, wall_seconds, items_per_second);
+  out += line;
+  out += "  shard items:";
+  for (uint64_t items : shard_items) {
+    std::snprintf(line, sizeof(line), " %llu",
+                  static_cast<unsigned long long>(items));
+    out += line;
+  }
+  out += '\n';
+  for (const ShardedSketchReport& s : sketches) {
+    std::snprintf(
+        line, sizeof(line),
+        "  %-24s total: state_changes=%-10llu word_writes=%-10llu "
+        "suppressed=%-8llu reads=%-10llu (merge: changes=%llu writes=%llu)\n",
+        s.name.c_str(), static_cast<unsigned long long>(s.total.state_changes),
+        static_cast<unsigned long long>(s.total.word_writes),
+        static_cast<unsigned long long>(s.total.suppressed_writes),
+        static_cast<unsigned long long>(s.total.word_reads),
+        static_cast<unsigned long long>(s.merge.state_changes),
+        static_cast<unsigned long long>(s.merge.word_writes));
+    out += line;
+    for (size_t shard = 0; shard < s.per_shard.size(); ++shard) {
+      const SketchRunReport& p = s.per_shard[shard];
+      std::snprintf(
+          line, sizeof(line),
+          "    shard %-2zu items=%-10llu state_changes=%-10llu "
+          "word_writes=%-10llu wall=%.6fs\n",
+          shard, static_cast<unsigned long long>(p.updates),
+          static_cast<unsigned long long>(p.state_changes),
+          static_cast<unsigned long long>(p.word_writes), p.wall_seconds);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string ShardedRunReport::ToCsv(const std::string& label) const {
+  std::string out;
+  for (const ShardedSketchReport& s : sketches) {
+    for (size_t shard = 0; shard < s.per_shard.size(); ++shard) {
+      out += SketchReportCsvRow(
+          label, s.name + "[shard" + std::to_string(shard) + "]",
+          s.per_shard[shard]);
+      out += '\n';
+    }
+    out += SketchReportCsvRow(label, s.name + "[merge]", s.merge);
+    out += '\n';
+    out += SketchReportCsvRow(label, s.name + "[total]", s.total);
+    out += '\n';
+  }
+  return out;
+}
+
+ShardedEngine::ShardedEngine(const ShardedEngineOptions& options)
+    : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.batch_items == 0) options_.batch_items = 1;
+  if (options_.max_queued_batches == 0) options_.max_queued_batches = 1;
+}
+
+Status ShardedEngine::AddSketch(SketchFactory factory) {
+  if (IndexOf(factory.name()) != entries_.size()) {
+    return Status::InvalidArgument("ShardedEngine::AddSketch: duplicate name '" +
+                                   factory.name() + "'");
+  }
+  std::unique_ptr<Sketch> probe = factory.Make();
+  if (probe == nullptr) {
+    return Status::InvalidArgument(
+        "ShardedEngine::AddSketch: factory for '" + factory.name() +
+        "' returned null");
+  }
+  const bool mergeable = IsMergeable(*probe);
+  if (!mergeable && options_.shards > 1) {
+    return Status::FailedPrecondition(
+        "ShardedEngine::AddSketch: '" + factory.name() +
+        "' is not mergeable; a multi-shard engine requires MergeableSketch "
+        "implementations (run it in a shards=1 engine instead)");
+  }
+  Entry entry{std::move(factory), mergeable};
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+std::vector<std::string> ShardedEngine::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.factory.name());
+  return out;
+}
+
+size_t ShardedEngine::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].factory.name() == name) return i;
+  }
+  return entries_.size();
+}
+
+Sketch* ShardedEngine::Merged(const std::string& name) const {
+  return Replica(0, name);
+}
+
+Sketch* ShardedEngine::Replica(size_t shard, const std::string& name) const {
+  if (shard >= replicas_.size()) return nullptr;
+  const size_t i = IndexOf(name);
+  // Sketches registered after the last Run have no replicas yet.
+  if (i >= replicas_[shard].size()) return nullptr;
+  return replicas_[shard][i].get();
+}
+
+ShardedRunReport ShardedEngine::Run(const Stream& stream) {
+  const size_t num_shards = options_.shards;
+  const size_t num_sketches = entries_.size();
+  const Clock::time_point run_start = Clock::now();
+
+  ShardedRunReport report;
+  report.stream_length = stream.size();
+  report.shards = num_shards;
+  report.batch_items = options_.batch_items;
+  report.shard_items.assign(num_shards, 0);
+  report.sketches.resize(num_sketches);
+
+  // Fresh replicas: a sharded run consumes its replicas by merging them.
+  replicas_.clear();
+  replicas_.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    replicas_[s].reserve(num_sketches);
+    for (const Entry& e : entries_) {
+      replicas_[s].push_back(e.factory.Make());
+    }
+  }
+
+  std::vector<std::vector<AccountantSnapshot>> before(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    before[s].resize(num_sketches);
+    for (size_t i = 0; i < num_sketches; ++i) {
+      before[s][i] = AccountantSnapshot::Of(replicas_[s][i]->accountant());
+    }
+  }
+
+  // Ingest: one bounded queue + worker thread per shard. Each worker is
+  // the only thread touching its shard's replicas (and their accountants)
+  // between thread start and join, so state stays thread-confined; the
+  // queue provides the ordering handoff for the batches themselves.
+  std::vector<std::unique_ptr<BatchQueue>> queues;
+  queues.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    queues.push_back(std::make_unique<BatchQueue>(options_.max_queued_batches));
+  }
+  // busy[s][i]: wall seconds shard s spent inside sketch i's Update calls.
+  // Written only by worker s; read after join.
+  std::vector<std::vector<double>> busy(num_shards,
+                                        std::vector<double>(num_sketches, 0.0));
+
+  const Clock::time_point ingest_start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    workers.emplace_back([this, s, num_sketches, &queues, &busy] {
+      Stream batch;
+      while (queues[s]->Pop(&batch)) {
+        // Blocked like StreamEngine::Run: per (sketch, batch) timing keeps
+        // clock overhead negligible and the per-sketch update order
+        // identical to a single-threaded pass over this shard's items.
+        for (size_t i = 0; i < num_sketches; ++i) {
+          Sketch* sketch = replicas_[s][i].get();
+          const Clock::time_point t0 = Clock::now();
+          for (Item item : batch) sketch->Update(item);
+          busy[s][i] += Seconds(t0, Clock::now());
+        }
+      }
+    });
+  }
+
+  // Partition: hash on item identity so all occurrences of an item land on
+  // one shard, preserving arrival order within the shard.
+  {
+    std::vector<Stream> pending(num_shards);
+    for (Stream& p : pending) p.reserve(options_.batch_items);
+    for (Item item : stream) {
+      const size_t s =
+          num_shards == 1
+              ? 0
+              : static_cast<size_t>(Mix64(item ^ options_.partition_seed) %
+                                    num_shards);
+      ++report.shard_items[s];
+      pending[s].push_back(item);
+      if (pending[s].size() >= options_.batch_items) {
+        queues[s]->Push(std::move(pending[s]));
+        pending[s] = Stream();
+        pending[s].reserve(options_.batch_items);
+      }
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (!pending[s].empty()) queues[s]->Push(std::move(pending[s]));
+      queues[s]->Close();
+    }
+  }
+  for (std::thread& w : workers) w.join();
+  report.ingest_seconds = Seconds(ingest_start, Clock::now());
+
+  // Per-shard ingest deltas.
+  for (size_t i = 0; i < num_sketches; ++i) {
+    ShardedSketchReport& sk = report.sketches[i];
+    sk.name = entries_[i].factory.name();
+    sk.mergeable = entries_[i].mergeable;
+    sk.per_shard.resize(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const StateAccountant& a = replicas_[s][i]->accountant();
+      sk.per_shard[s] = before[s][i].DeltaTo(AccountantSnapshot::Of(a));
+      sk.per_shard[s].name = sk.name;
+      sk.per_shard[s].peak_allocated_words = a.peak_allocated_words();
+      sk.per_shard[s].wall_seconds = busy[s][i];
+      Accumulate(&sk.total, sk.per_shard[s]);
+    }
+  }
+
+  // Merge: consolidate shards 1..S-1 into shard 0's replica, wear
+  // accounted on the destination. `SketchFactory`'s contract is that every
+  // Make() mints an identical configuration, so a failure here is a broken
+  // factory (e.g. a stateful maker varying seeds across calls) — a
+  // programming error, and the engine dies like StreamEngine does on
+  // invalid registration rather than returning a half-merged report.
+  const Clock::time_point merge_start = Clock::now();
+  if (num_shards > 1) {
+    for (size_t i = 0; i < num_sketches; ++i) {
+      ShardedSketchReport& sk = report.sketches[i];
+      MergeableSketch* merged = AsMergeable(replicas_[0][i].get());
+      const AccountantSnapshot pre =
+          AccountantSnapshot::Of(merged->accountant());
+      const Clock::time_point t0 = Clock::now();
+      for (size_t s = 1; s < num_shards; ++s) {
+        const Status status = merged->MergeFrom(*replicas_[s][i]);
+        if (!status.ok()) {
+          std::fprintf(stderr, "ShardedEngine::Run: merge of '%s' failed: %s\n",
+                       sk.name.c_str(), status.ToString().c_str());
+          std::abort();
+        }
+      }
+      sk.merge = pre.DeltaTo(AccountantSnapshot::Of(merged->accountant()));
+      sk.merge.name = sk.name;
+      sk.merge.wall_seconds = Seconds(t0, Clock::now());
+      Accumulate(&sk.total, sk.merge);
+    }
+  }
+  report.merge_seconds = Seconds(merge_start, Clock::now());
+
+  for (ShardedSketchReport& sk : report.sketches) {
+    sk.total.name = sk.name;
+    sk.total.peak_allocated_words = 0;
+    for (const SketchRunReport& p : sk.per_shard) {
+      sk.total.peak_allocated_words += p.peak_allocated_words;
+    }
+  }
+
+  report.wall_seconds = Seconds(run_start, Clock::now());
+  report.items_per_second =
+      report.ingest_seconds > 0.0
+          ? static_cast<double>(report.stream_length) / report.ingest_seconds
+          : 0.0;
+  last_report_ = report;
+  return report;
+}
+
+}  // namespace fewstate

@@ -1,0 +1,151 @@
+#ifndef FEWSTATE_SHARD_SHARDED_ENGINE_H_
+#define FEWSTATE_SHARD_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/mergeable.h"
+#include "api/stream_engine.h"
+#include "common/status.h"
+#include "common/stream_types.h"
+#include "shard/sketch_factory.h"
+
+namespace fewstate {
+
+/// \brief Configuration of a `ShardedEngine`.
+struct ShardedEngineOptions {
+  /// Number of shards S == number of ingest worker threads. S == 1 is the
+  /// exact single-threaded `StreamEngine` semantics (no merge phase).
+  size_t shards = 1;
+  /// Items per batch handed to a shard worker. Batching amortises queue
+  /// synchronisation; per-shard item order is preserved regardless.
+  size_t batch_items = 4096;
+  /// Bounded depth, in batches, of each shard's feed queue. The
+  /// partitioner blocks when a shard falls this far behind (backpressure
+  /// instead of unbounded buffering).
+  size_t max_queued_batches = 8;
+  /// Seed of the item -> shard hash. Partitioning is by item identity, so
+  /// all occurrences of an item land on one shard — required for the
+  /// counter-based summaries to merge meaningfully.
+  uint64_t partition_seed = 0x5a4dedb175ULL;
+};
+
+/// \brief Per-sketch outcome of one `ShardedEngine::Run`.
+///
+/// `per_shard[s]` holds the accountant deltas of shard s's replica during
+/// ingest; `merge` holds the deltas the destination replica's accountant
+/// saw during the merge phase (each merge is one accounting epoch, so its
+/// `updates` counts merges, not stream items); `total` is the aggregate
+/// wear across all replicas plus consolidation — the figure a deployed
+/// S-way monitor actually pays.
+struct ShardedSketchReport {
+  std::string name;
+  bool mergeable = false;
+  std::vector<SketchRunReport> per_shard;
+  SketchRunReport merge;
+  SketchRunReport total;
+};
+
+/// \brief Outcome of one `ShardedEngine::Run`.
+struct ShardedRunReport {
+  uint64_t stream_length = 0;
+  size_t shards = 0;
+  size_t batch_items = 0;
+  /// Items routed to each shard (sums to `stream_length`).
+  std::vector<uint64_t> shard_items;
+  /// Whole run: replica construction + ingest + merge.
+  double wall_seconds = 0.0;
+  /// Partition + feed + worker drain (the parallel section).
+  double ingest_seconds = 0.0;
+  /// Post-join consolidation of replicas into shard 0's.
+  double merge_seconds = 0.0;
+  /// stream_length / ingest_seconds.
+  double items_per_second = 0.0;
+  std::vector<ShardedSketchReport> sketches;
+
+  /// \brief The entry for `name`, or nullptr if no such sketch ran.
+  const ShardedSketchReport* Find(const std::string& name) const;
+
+  /// \brief Human-readable summary (aggregate row per sketch, then
+  /// per-shard rows).
+  std::string ToString() const;
+
+  /// \brief Machine-readable rows under `RunReport::CsvHeader()` columns;
+  /// the sketch column is suffixed `[shard<s>]`, `[merge]` or `[total]`.
+  std::string ToCsv(const std::string& label) const;
+};
+
+/// \brief Hash-partitioned, multi-threaded ingest over replicated
+/// sketches.
+///
+/// The paper's state-change metric (§1.5) models per-device write wear; a
+/// production monitor partitions a heavy stream across S cores, which
+/// multiplies the replicas — and the wear — by S and adds a consolidation
+/// (merge) cost. This engine makes that deployment shape measurable:
+///
+///  * each registered `SketchFactory` mints one replica per shard;
+///  * a partitioner thread hash-routes items to per-shard bounded batch
+///    queues; one worker thread per shard drains its queue, so every
+///    replica (and its `StateAccountant`) stays thread-confined;
+///  * after the stream ends and workers join, shards 1..S-1 are merged
+///    into shard 0's replica through `MergeableSketch::MergeFrom`, with
+///    merge-time writes accounted on the destination;
+///  * the `ShardedRunReport` carries per-shard and aggregated wear plus an
+///    ingest-throughput figure.
+///
+/// With S > 1 every registered sketch must implement `MergeableSketch`
+/// (checked at registration); with S == 1 any `Sketch` is accepted and the
+/// run degenerates to `StreamEngine` semantics, sketch-for-sketch.
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(const ShardedEngineOptions& options);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// \brief Registers a sketch spec. Fails on duplicate names, on makers
+  /// that return null, and on non-mergeable sketches when `shards > 1`
+  /// (sample-and-hold structures report non-mergeability statically, by
+  /// not deriving from `MergeableSketch`).
+  Status AddSketch(SketchFactory factory);
+
+  size_t shards() const { return options_.shards; }
+  size_t size() const { return entries_.size(); }
+  std::vector<std::string> names() const;
+
+  /// \brief Partitions `stream` across the shards, ingests on worker
+  /// threads, merges the replicas, and reports. Each call builds fresh
+  /// replicas (a sharded run consumes its replicas by merging them; there
+  /// is no carry-over state between runs).
+  ShardedRunReport Run(const Stream& stream);
+
+  /// \brief The consolidated sketch for `name` after the last `Run`
+  /// (shard 0's replica, post-merge), or nullptr before the first run.
+  /// Valid until the next `Run`.
+  Sketch* Merged(const std::string& name) const;
+
+  /// \brief Shard `shard`'s replica of `name` after the last `Run`, or
+  /// nullptr. Shard 0's replica has absorbed the others when S > 1.
+  Sketch* Replica(size_t shard, const std::string& name) const;
+
+  const ShardedRunReport& last_report() const { return last_report_; }
+
+ private:
+  struct Entry {
+    SketchFactory factory;
+    bool mergeable = false;
+  };
+
+  size_t IndexOf(const std::string& name) const;
+
+  ShardedEngineOptions options_;
+  std::vector<Entry> entries_;
+  // replicas_[shard][sketch]; rebuilt by each Run and kept for queries.
+  std::vector<std::vector<std::unique_ptr<Sketch>>> replicas_;
+  ShardedRunReport last_report_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_SHARD_SHARDED_ENGINE_H_

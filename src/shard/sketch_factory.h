@@ -1,0 +1,53 @@
+#ifndef FEWSTATE_SHARD_SKETCH_FACTORY_H_
+#define FEWSTATE_SHARD_SKETCH_FACTORY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "api/sketch.h"
+
+namespace fewstate {
+
+/// \brief A named recipe for minting identically-configured sketch
+/// replicas.
+///
+/// Sharded ingest needs one replica of every registered sketch per shard,
+/// and merge compatibility requires the replicas to agree on *all*
+/// configuration — dimensions and seeds included (`MergeableSketch`
+/// rejects anything else). A factory captures that configuration once;
+/// every `Make()` call then constructs an exact replica, so the only thing
+/// distinguishing two replicas is the stream slice they are fed.
+class SketchFactory {
+ public:
+  using Maker = std::function<std::unique_ptr<Sketch>()>;
+
+  SketchFactory(std::string name, Maker maker)
+      : name_(std::move(name)), maker_(std::move(maker)) {}
+
+  /// \brief Convenience spec: builds `T(args...)` replicas under `name`.
+  /// Arguments are captured by value, so each call constructs from the
+  /// same configuration:
+  ///
+  ///   auto spec = SketchFactory::Of<CountMin>("count_min", 4, 2048,
+  ///                                           /*seed=*/7);
+  template <typename T, typename... Args>
+  static SketchFactory Of(std::string name, Args... args) {
+    return SketchFactory(std::move(name),
+                         [args...] { return std::make_unique<T>(args...); });
+  }
+
+  /// \brief Mints a fresh replica.
+  std::unique_ptr<Sketch> Make() const { return maker_(); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Maker maker_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_SHARD_SKETCH_FACTORY_H_

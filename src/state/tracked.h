@@ -135,6 +135,18 @@ class TrackedArray {
   std::vector<T> values_;
 };
 
+/// \brief Adds `src` into `dst` element-wise (equal sizes assumed — the
+/// linear-sketch merge primitive). Zero source cells are skipped entirely,
+/// so untouched state costs the destination accountant nothing.
+template <typename T>
+void AddTrackedArray(TrackedArray<T>* dst, const TrackedArray<T>& src) {
+  for (size_t i = 0; i < src.size(); ++i) {
+    const T add = src.Peek(i);
+    if (add == T()) continue;
+    dst->Set(i, dst->Get(i) + add);
+  }
+}
+
 }  // namespace fewstate
 
 #endif  // FEWSTATE_STATE_TRACKED_H_

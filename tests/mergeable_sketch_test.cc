@@ -1,0 +1,360 @@
+// Merge semantics of the MergeableSketch layer: merging an empty replica
+// is an identity, merges of the linear sketches commute and equal a
+// single-pass run over the concatenated streams, merge-time wear lands on
+// the destination accountant, incompatible configurations are rejected
+// without side effects, and the sample-and-hold family reports
+// non-mergeability statically (by type).
+
+#include "api/mergeable.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/ams_sketch.h"
+#include "baselines/count_min.h"
+#include "baselines/count_sketch.h"
+#include "baselines/misra_gries.h"
+#include "baselines/space_saving.h"
+#include "baselines/stable_sketch.h"
+#include "common/random.h"
+#include "core/full_sample_and_hold.h"
+#include "core/heavy_hitters.h"
+#include "core/sample_and_hold.h"
+#include "counters/morris_counter.h"
+#include "stream/generators.h"
+#include "stream/stream_stats.h"
+
+namespace fewstate {
+namespace {
+
+constexpr uint64_t kUniverse = 300;
+constexpr uint64_t kLength = 4000;
+
+Stream FirstHalf() { return ZipfStream(kUniverse, 1.2, kLength, /*seed=*/31); }
+Stream SecondHalf() { return ZipfStream(kUniverse, 1.1, kLength, /*seed=*/32); }
+
+Stream Concatenated() {
+  Stream all = FirstHalf();
+  const Stream second = SecondHalf();
+  all.insert(all.end(), second.begin(), second.end());
+  return all;
+}
+
+std::vector<double> Estimates(const Sketch& sketch) {
+  std::vector<double> out(kUniverse);
+  for (Item j = 0; j < kUniverse; ++j) out[j] = sketch.EstimateFrequency(j);
+  return out;
+}
+
+// Factories minting identically-configured replicas of every mergeable
+// implementation (the ShardedEngine discipline).
+std::unique_ptr<CountMin> MakeCountMin() {
+  return std::make_unique<CountMin>(4, 128, /*seed=*/21);
+}
+std::unique_ptr<CountSketch> MakeCountSketch() {
+  return std::make_unique<CountSketch>(3, 128, /*seed=*/22);
+}
+std::unique_ptr<AmsSketch> MakeAms() {
+  return std::make_unique<AmsSketch>(3, 32, /*seed=*/23);
+}
+std::unique_ptr<MisraGries> MakeMisraGries() {
+  return std::make_unique<MisraGries>(48);
+}
+std::unique_ptr<SpaceSaving> MakeSpaceSaving() {
+  return std::make_unique<SpaceSaving>(48);
+}
+std::unique_ptr<StableSketch> MakeStableExact(uint64_t seed = 24) {
+  return std::make_unique<StableSketch>(0.5, 16, seed,
+                                        StableSketch::CounterMode::kExact);
+}
+std::unique_ptr<StableSketch> MakeStableMorris() {
+  return std::make_unique<StableSketch>(0.5, 16, /*seed=*/25,
+                                        StableSketch::CounterMode::kMorris);
+}
+
+TEST(MergeableSketch, MergeWithEmptyIsIdentity) {
+  const Stream stream = FirstHalf();
+  struct Case {
+    const char* name;
+    std::unique_ptr<MergeableSketch> loaded;
+    std::unique_ptr<Sketch> empty;
+  };
+  Case cases[] = {
+      {"count_min", MakeCountMin(), MakeCountMin()},
+      {"count_sketch", MakeCountSketch(), MakeCountSketch()},
+      {"ams", MakeAms(), MakeAms()},
+      {"misra_gries", MakeMisraGries(), MakeMisraGries()},
+      {"space_saving", MakeSpaceSaving(), MakeSpaceSaving()},
+      {"stable_exact", MakeStableExact(), MakeStableExact()},
+      {"stable_morris", MakeStableMorris(), MakeStableMorris()},
+  };
+  for (Case& c : cases) {
+    c.loaded->Consume(stream);
+    const std::vector<double> before = Estimates(*c.loaded);
+    ASSERT_TRUE(c.loaded->MergeFrom(*c.empty).ok()) << c.name;
+    EXPECT_EQ(Estimates(*c.loaded), before) << c.name;
+  }
+  // Norm sketches: the Lp estimate must be untouched too.
+  auto stable = MakeStableExact();
+  auto stable_empty = MakeStableExact();
+  stable->Consume(stream);
+  const double lp = stable->EstimateLp();
+  ASSERT_TRUE(stable->MergeFrom(*stable_empty).ok());
+  EXPECT_DOUBLE_EQ(stable->EstimateLp(), lp);
+}
+
+TEST(MergeableSketch, LinearSketchMergeEqualsFullStreamRun) {
+  const Stream s1 = FirstHalf(), s2 = SecondHalf(), all = Concatenated();
+
+  {
+    auto a = MakeCountMin(), b = MakeCountMin(), full = MakeCountMin();
+    a->Consume(s1);
+    b->Consume(s2);
+    full->Consume(all);
+    ASSERT_TRUE(a->MergeFrom(*b).ok());
+    EXPECT_EQ(Estimates(*a), Estimates(*full));
+  }
+  {
+    auto a = MakeCountSketch(), b = MakeCountSketch(), full = MakeCountSketch();
+    a->Consume(s1);
+    b->Consume(s2);
+    full->Consume(all);
+    ASSERT_TRUE(a->MergeFrom(*b).ok());
+    EXPECT_EQ(Estimates(*a), Estimates(*full));
+    EXPECT_DOUBLE_EQ(a->EstimateF2(), full->EstimateF2());
+  }
+  {
+    auto a = MakeAms(), b = MakeAms(), full = MakeAms();
+    a->Consume(s1);
+    b->Consume(s2);
+    full->Consume(all);
+    ASSERT_TRUE(a->MergeFrom(*b).ok());
+    EXPECT_EQ(Estimates(*a), Estimates(*full));
+    EXPECT_DOUBLE_EQ(a->EstimateF2(), full->EstimateF2());
+  }
+  {
+    // Exact-mode stable rows are linear in doubles; summation order
+    // differs between the merged and single-pass runs, so compare to a
+    // relative tolerance instead of bitwise.
+    auto a = MakeStableExact(), b = MakeStableExact(), full = MakeStableExact();
+    a->Consume(s1);
+    b->Consume(s2);
+    full->Consume(all);
+    ASSERT_TRUE(a->MergeFrom(*b).ok());
+    EXPECT_NEAR(a->EstimateLp(), full->EstimateLp(),
+                1e-9 * (1.0 + full->EstimateLp()));
+  }
+}
+
+TEST(MergeableSketch, LinearSketchMergeCommutes) {
+  const Stream s1 = FirstHalf(), s2 = SecondHalf();
+
+  auto cm_ab = MakeCountMin(), cm_b = MakeCountMin();
+  auto cm_ba = MakeCountMin(), cm_a = MakeCountMin();
+  cm_ab->Consume(s1);
+  cm_b->Consume(s2);
+  cm_ba->Consume(s2);
+  cm_a->Consume(s1);
+  ASSERT_TRUE(cm_ab->MergeFrom(*cm_b).ok());
+  ASSERT_TRUE(cm_ba->MergeFrom(*cm_a).ok());
+  EXPECT_EQ(Estimates(*cm_ab), Estimates(*cm_ba));
+
+  auto cs_ab = MakeCountSketch(), cs_b = MakeCountSketch();
+  auto cs_ba = MakeCountSketch(), cs_a = MakeCountSketch();
+  cs_ab->Consume(s1);
+  cs_b->Consume(s2);
+  cs_ba->Consume(s2);
+  cs_a->Consume(s1);
+  ASSERT_TRUE(cs_ab->MergeFrom(*cs_b).ok());
+  ASSERT_TRUE(cs_ba->MergeFrom(*cs_a).ok());
+  EXPECT_EQ(Estimates(*cs_ab), Estimates(*cs_ba));
+
+  auto ams_ab = MakeAms(), ams_b = MakeAms();
+  auto ams_ba = MakeAms(), ams_a = MakeAms();
+  ams_ab->Consume(s1);
+  ams_b->Consume(s2);
+  ams_ba->Consume(s2);
+  ams_a->Consume(s1);
+  ASSERT_TRUE(ams_ab->MergeFrom(*ams_b).ok());
+  ASSERT_TRUE(ams_ba->MergeFrom(*ams_a).ok());
+  EXPECT_EQ(Estimates(*ams_ab), Estimates(*ams_ba));
+}
+
+TEST(MergeableSketch, MisraGriesMergeKeepsCombinedL1Guarantee) {
+  // Item-disjoint halves (the sharded-partition shape): even shard takes
+  // even ids. The merged summary must stay an underestimate within the
+  // classic (m1 + m2) / (k + 1) additive error.
+  const Stream all = Concatenated();
+  Stream even, odd;
+  for (Item item : all) (item % 2 == 0 ? even : odd).push_back(item);
+  const StreamStats oracle(all);
+
+  const size_t k = 48;
+  MisraGries a(k), b(k);
+  a.Consume(even);
+  b.Consume(odd);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+
+  const double slack =
+      static_cast<double>(all.size()) / static_cast<double>(k + 1);
+  for (Item j = 0; j < kUniverse; ++j) {
+    const double truth = static_cast<double>(oracle.Frequency(j));
+    const double est = a.EstimateFrequency(j);
+    EXPECT_LE(est, truth) << "MG overestimated item " << j;
+    EXPECT_GE(est, truth - slack) << "MG undershot item " << j;
+  }
+  EXPECT_LE(a.size(), k);
+}
+
+TEST(MergeableSketch, SpaceSavingMergeKeepsOverestimateOnPartitionedStreams) {
+  const Stream all = Concatenated();
+  Stream even, odd;
+  for (Item item : all) (item % 2 == 0 ? even : odd).push_back(item);
+  const StreamStats oracle(all);
+
+  const size_t k = 48;
+  SpaceSaving a(k), b(k);
+  a.Consume(even);
+  b.Consume(odd);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+
+  for (Item j = 0; j < kUniverse; ++j) {
+    const double truth = static_cast<double>(oracle.Frequency(j));
+    EXPECT_GE(a.EstimateFrequency(j), truth)
+        << "SpaceSaving undershot item " << j;
+  }
+  EXPECT_LE(a.size(), k);
+}
+
+TEST(MergeableSketch, MorrisCounterMerge) {
+  // Exact mode (a == 0): merge is literal addition.
+  {
+    StateAccountant acc_a, acc_b;
+    Rng rng_a(1), rng_b(2);
+    MorrisCounter a(&acc_a, &rng_a, 0.0), b(&acc_b, &rng_b, 0.0);
+    for (int i = 0; i < 100; ++i) a.Increment();
+    for (int i = 0; i < 250; ++i) b.Increment();
+    ASSERT_TRUE(a.Merge(b).ok());
+    EXPECT_DOUBLE_EQ(a.Estimate(), 350.0);
+  }
+  // Approximate mode: the merged estimate is within the usual Morris
+  // accuracy of the combined count, and the jump costs at most one write.
+  {
+    StateAccountant acc_a, acc_b;
+    Rng rng_a(3), rng_b(4);
+    const double growth = 1e-3;
+    MorrisCounter a(&acc_a, &rng_a, growth), b(&acc_b, &rng_b, growth);
+    for (int i = 0; i < 20000; ++i) a.Increment();
+    for (int i = 0; i < 30000; ++i) b.Increment();
+    const uint64_t writes_before = acc_a.word_writes();
+    ASSERT_TRUE(a.Merge(b).ok());
+    EXPECT_LE(acc_a.word_writes(), writes_before + 1);
+    EXPECT_NEAR(a.Estimate(), 50000.0, 0.15 * 50000.0);
+  }
+  // Growth parameters must match.
+  {
+    StateAccountant acc_a, acc_b;
+    Rng rng_a(5), rng_b(6);
+    MorrisCounter a(&acc_a, &rng_a, 1e-3), b(&acc_b, &rng_b, 1e-2);
+    EXPECT_FALSE(a.Merge(b).ok());
+  }
+}
+
+TEST(MergeableSketch, MergeWearIsAccountedOnDestinationOnly) {
+  auto a = MakeCountMin(), b = MakeCountMin();
+  a->Consume(FirstHalf());
+  b->Consume(SecondHalf());
+
+  const uint64_t a_changes = a->accountant().state_changes();
+  const uint64_t a_writes = a->accountant().word_writes();
+  const uint64_t b_writes = b->accountant().word_writes();
+
+  ASSERT_TRUE(a->MergeFrom(*b).ok());
+
+  // One merge == one accounting epoch: exactly +1 state change, while the
+  // cell-wise additions all count as word writes (the wear to consolidate
+  // a shard).
+  EXPECT_EQ(a->accountant().state_changes(), a_changes + 1);
+  EXPECT_GT(a->accountant().word_writes(), a_writes);
+  // The source is read, never written.
+  EXPECT_EQ(b->accountant().word_writes(), b_writes);
+}
+
+TEST(MergeableSketch, IncompatibleConfigurationsAreRejectedWithoutSideEffects) {
+  auto cm = MakeCountMin();
+  cm->Consume(FirstHalf());
+  const std::vector<double> before = Estimates(*cm);
+  const uint64_t writes = cm->accountant().word_writes();
+
+  CountMin other_width(4, 64, /*seed=*/21);
+  CountMin other_seed(4, 128, /*seed=*/99);
+  CountMin conservative(4, 128, /*seed=*/21, /*conservative=*/true);
+  auto cs = MakeCountSketch();
+  EXPECT_FALSE(cm->MergeFrom(other_width).ok());
+  EXPECT_FALSE(cm->MergeFrom(other_seed).ok());
+  EXPECT_FALSE(cm->MergeFrom(conservative).ok());
+  EXPECT_FALSE(cm->MergeFrom(*cs).ok());
+  EXPECT_FALSE(cm->MergeFrom(*cm).ok());
+
+  EXPECT_EQ(Estimates(*cm), before);
+  EXPECT_EQ(cm->accountant().word_writes(), writes);
+
+  MisraGries mg_small(8);
+  auto mg = MakeMisraGries();
+  EXPECT_FALSE(mg->MergeFrom(mg_small).ok());
+  SpaceSaving ss_small(8);
+  auto ss = MakeSpaceSaving();
+  EXPECT_FALSE(ss->MergeFrom(ss_small).ok());
+  auto stable_exact = MakeStableExact();
+  auto stable_other_seed = MakeStableExact(/*seed=*/99);
+  auto stable_morris = MakeStableMorris();
+  EXPECT_FALSE(stable_exact->MergeFrom(*stable_other_seed).ok());
+  EXPECT_FALSE(stable_exact->MergeFrom(*stable_morris).ok());
+}
+
+TEST(MergeableSketch, MergeabilityIsReportedStatically) {
+  EXPECT_TRUE(IsMergeable(*MakeCountMin()));
+  EXPECT_TRUE(IsMergeable(*MakeCountSketch()));
+  EXPECT_TRUE(IsMergeable(*MakeAms()));
+  EXPECT_TRUE(IsMergeable(*MakeMisraGries()));
+  EXPECT_TRUE(IsMergeable(*MakeSpaceSaving()));
+  EXPECT_TRUE(IsMergeable(*MakeStableExact()));
+  EXPECT_TRUE(IsMergeable(*MakeStableMorris()));
+
+  // The sample-and-hold family's reservoirs and dyadic-age maintenance are
+  // tied to one stream prefix; they do not implement the merge contract.
+  SampleAndHoldOptions sah;
+  sah.universe = kUniverse;
+  sah.stream_length_hint = kLength;
+  sah.p = 2.0;
+  sah.eps = 0.4;
+  sah.seed = 11;
+  SampleAndHold sample_and_hold(sah);
+  EXPECT_FALSE(IsMergeable(sample_and_hold));
+  EXPECT_EQ(AsMergeable(&sample_and_hold), nullptr);
+
+  FullSampleAndHoldOptions fsah;
+  fsah.universe = kUniverse;
+  fsah.stream_length_hint = kLength;
+  fsah.p = 2.0;
+  fsah.eps = 0.4;
+  fsah.seed = 12;
+  fsah.repetitions = 2;
+  FullSampleAndHold full(fsah);
+  EXPECT_FALSE(IsMergeable(full));
+
+  HeavyHittersOptions hh;
+  hh.universe = kUniverse;
+  hh.stream_length_hint = kLength;
+  hh.p = 2.0;
+  hh.eps = 0.25;
+  hh.seed = 13;
+  hh.repetitions = 2;
+  LpHeavyHitters lp(hh);
+  EXPECT_FALSE(IsMergeable(lp));
+}
+
+}  // namespace
+}  // namespace fewstate
