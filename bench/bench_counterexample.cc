@@ -9,6 +9,7 @@
 
 #include <cinttypes>
 
+#include "api/item_source.h"
 #include "bench_util.h"
 #include "core/sample_and_hold.h"
 #include "stream/adversarial.h"
@@ -40,7 +41,7 @@ Outcome RunPolicy(const CounterexampleStream& cx, EvictionPolicy policy,
     options.reservoir_slots_override = 24;
     options.sample_rate_scale = 16.0;
     SampleAndHold alg(options);
-    alg.Consume(cx.stream);
+    alg.Drain(VectorSource(cx.stream));
     const double est = alg.EstimateFrequency(cx.heavy_item);
     if (est >= 0.25 * static_cast<double>(cx.heavy_frequency)) {
       ++out.found;

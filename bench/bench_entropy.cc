@@ -8,6 +8,7 @@
 #include <cinttypes>
 #include <cmath>
 
+#include "api/item_source.h"
 #include "bench_util.h"
 #include "core/entropy_estimator.h"
 #include "stream/generators.h"
@@ -53,7 +54,7 @@ int main() {
     options.eps = 0.3;
     options.seed = 19;
     EntropyEstimator alg(options);
-    alg.Consume(w.stream);
+    alg.Drain(VectorSource(w.stream));
     const double est = alg.EstimateEntropy();
     std::printf("%-12s %10.3f %10.3f %10.3f %14" PRIu64 " %8.4f\n", w.name,
                 exact, est, std::fabs(est - exact),
@@ -73,7 +74,7 @@ int main() {
     options.rows = 12;      // writes scale with rows; accuracy is not the
     options.morris_a = 2e-2;  // object of this sweep
     EntropyEstimator alg(options);
-    alg.Consume(ZipfStream(n, 1.2, len, 21));
+    alg.Drain(ZipfSource(n, 1.2, len, 21));  // lazy: never materialized
     const uint64_t chg = alg.accountant().state_changes();
     std::printf("%-10" PRIu64 " %14" PRIu64 " %8.4f\n", len, chg,
                 static_cast<double>(chg) / static_cast<double>(len));

@@ -9,6 +9,7 @@
 #include <cinttypes>
 #include <cmath>
 
+#include "api/item_source.h"
 #include "baselines/ams_sketch.h"
 #include "baselines/stable_sketch.h"
 #include "bench_util.h"
@@ -54,7 +55,7 @@ int main() {
       options.eps = 0.35;
       options.seed = 900 + static_cast<uint64_t>(p * 10);
       FpEstimator alg(options);
-      alg.Consume(w.stream);
+      alg.Drain(VectorSource(w.stream));
 
       const double est = alg.EstimateFp();
       const uint64_t changes = alg.accountant().state_changes();
@@ -70,7 +71,7 @@ int main() {
     const StreamStats oracle(w.stream);
 
     AmsSketch ams(5, 64, 31);
-    ams.Consume(w.stream);
+    ams.Drain(VectorSource(w.stream));
     std::printf("%-17s p=2.0 rel_err %6.3f  state_changes %10" PRIu64
                 "  chg/m %.3f\n",
                 "AMS[AMS99]", RelativeError(ams.EstimateF2(), oracle.Fp(2.0)),
@@ -79,7 +80,7 @@ int main() {
                     static_cast<double>(m));
 
     StableSketch stable(1.5, 100, 32, StableSketch::CounterMode::kExact);
-    stable.Consume(w.stream);
+    stable.Drain(VectorSource(w.stream));
     std::printf("%-17s p=1.5 rel_err %6.3f  state_changes %10" PRIu64
                 "  chg/m %.3f\n",
                 "p-stable[Ind06]",

@@ -10,6 +10,7 @@
 
 #include <cinttypes>
 
+#include "api/item_source.h"
 #include "bench_util.h"
 #include "common/math_util.h"
 #include "core/sample_and_hold.h"
@@ -48,7 +49,7 @@ int main() {
         options.eps = 0.4;
         options.seed = 77 + n + 131 * trial;
         SampleAndHold alg(options);
-        alg.Consume(streams[i]);
+        alg.Drain(VectorSource(streams[i]));
         changes_sum += alg.accountant().state_changes();
       }
       const uint64_t changes = changes_sum / kTrials;

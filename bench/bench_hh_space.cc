@@ -8,6 +8,7 @@
 
 #include <cinttypes>
 
+#include "api/item_source.h"
 #include "bench_util.h"
 #include "common/math_util.h"
 #include "core/sample_and_hold.h"
@@ -32,7 +33,7 @@ int main() {
       options.eps = 0.4;
       options.seed = 31 + n;
       SampleAndHold alg(options);
-      alg.Consume(ZipfStream(n, 1.2, m, /*seed=*/n + 9));
+      alg.Drain(ZipfSource(n, 1.2, m, /*seed=*/n + 9));  // lazy
       const uint64_t peak = alg.accountant().peak_allocated_words();
       std::printf("%-6.1f %10" PRIu64 " %12" PRIu64 " %12.5f\n", p, n, peak,
                   static_cast<double>(peak) / static_cast<double>(n));

@@ -11,6 +11,7 @@
 #include <cinttypes>
 #include <cmath>
 
+#include "api/item_source.h"
 #include "bench_util.h"
 #include "core/fp_estimator.h"
 #include "stream/adversarial.h"
@@ -51,7 +52,7 @@ int main() {
         options.sample_rate_scale = 4.0 * scale;
         options.seed = 40 + 17 * trial + which;
         FpEstimator alg(options);
-        alg.Consume(which == 0 ? inst.s1 : inst.s2);
+        alg.Drain(VectorSource(which == 0 ? inst.s1 : inst.s2));
         est[which] = alg.EstimateFp();
         if (which == 0) total_changes += alg.accountant().state_changes();
       }

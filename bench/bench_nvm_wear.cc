@@ -8,6 +8,7 @@
 
 #include <cinttypes>
 
+#include "api/item_source.h"
 #include "baselines/count_min.h"
 #include "baselines/count_sketch.h"
 #include "baselines/space_saving.h"
@@ -67,21 +68,21 @@ int main() {
     WriteLog log(1ULL << 24);
     CountMin alg(4, 2048, 2);
     alg.mutable_accountant()->set_write_log(&log);
-    alg.Consume(stream);
+    alg.Drain(VectorSource(stream));
     Report("CountMin[CM05]", log, alg.accountant());
   }
   {
     WriteLog log(1ULL << 24);
     CountSketch alg(4, 2048, 3);
     alg.mutable_accountant()->set_write_log(&log);
-    alg.Consume(stream);
+    alg.Drain(VectorSource(stream));
     Report("CountSketch[CCF04]", log, alg.accountant());
   }
   {
     WriteLog log(1ULL << 24);
     SpaceSaving alg(1024);
     alg.mutable_accountant()->set_write_log(&log);
-    alg.Consume(stream);
+    alg.Drain(VectorSource(stream));
     Report("SpaceSaving[MAA05]", log, alg.accountant());
   }
   {
@@ -94,7 +95,7 @@ int main() {
     options.seed = 4;
     FullSampleAndHold alg(options);
     alg.mutable_accountant()->set_write_log(&log);
-    alg.Consume(stream);
+    alg.Drain(VectorSource(stream));
     Report("FullSampleAndHold", log, alg.accountant());
   }
 

@@ -1,19 +1,30 @@
-// E-shard — sharded ingest throughput and aggregated wear.
+// E-shard — sharded ingest throughput, aggregated wear, and
+// constant-memory source ingestion.
 //
-// Sweeps the shard count S in {1, 2, 4, 8} over one Zipf trace and
+// Sweeps the shard count S in {1, 2, 4, 8} over one Zipf workload and
 // reports, per S: ingest throughput (items/sec), the aggregate
 // state-change and word-write totals across all shard replicas including
-// merge-time consolidation, and the merge share — the deployment question
-// the paper's per-device wear model raises: parallel ingest buys
-// throughput with replicated state, so total wear grows with S while
-// per-device wear shrinks.
+// merge-time consolidation, the merge share, and the process's peak RSS.
 //
-// Usage: bench_sharded_throughput [stream_length] (default 2000000; CI's
-// ThreadSanitizer job passes a smaller length).
+// The workload is never materialized: the partitioner pulls straight from
+// a lazy `ZipfSource` (`ItemSource` API), so resident memory is bounded by
+// batch size * queue depth * shards — not by stream length. The final
+// column makes that visible: peak RSS stays flat while the materialized
+// equivalent (8 bytes/item) grows without bound; at the default 2*10^7
+// items a prebuilt vector alone would be ~153 MiB, and a 10^8-item run
+// (pass 100000000) would need ~763 MiB materialized yet ingests here in a
+// few MiB.
+//
+// Usage: bench_sharded_throughput [stream_length] [shard_list]
+// (defaults: 20000000 and "1,2,4,8"; CI's ThreadSanitizer job passes a
+// smaller length, and a mega-stream acceptance run can restrict the sweep,
+// e.g. `bench_sharded_throughput 100000000 8`).
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "baselines/count_min.h"
 #include "baselines/count_sketch.h"
@@ -45,25 +56,39 @@ std::vector<SketchFactory> Roster() {
 
 int main(int argc, char** argv) {
   const uint64_t kFlows = 50000;
-  uint64_t length = 2000000;
+  uint64_t length = 20000000;
   if (argc > 1) {
     const long long parsed = std::atoll(argv[1]);
     if (parsed > 0) length = static_cast<uint64_t>(parsed);
   }
+  std::vector<size_t> sweep{1, 2, 4, 8};
+  if (argc > 2) {
+    sweep.clear();
+    for (const char* p = argv[2]; *p != '\0';) {
+      const long long s = std::atoll(p);
+      if (s > 0) sweep.push_back(static_cast<size_t>(s));
+      const char* comma = std::strchr(p, ',');
+      if (comma == nullptr) break;
+      p = comma + 1;
+    }
+    if (sweep.empty()) sweep = {1, 2, 4, 8};
+  }
 
   bench::Banner(
-      "E-shard bench_sharded_throughput", "sharded ingest scaling (§1.5 wear)",
+      "E-shard bench_sharded_throughput",
+      "sharded ingest scaling (§1.5 wear) on the pull-based source API",
       "hash-partitioned S-way ingest multiplies throughput and replica "
-      "state; merged wear = sum of shard wear + consolidation writes");
-  std::printf("stream: %llu items over %llu flows (Zipf 1.2)\n\n",
-              (unsigned long long)length, (unsigned long long)kFlows);
-  const Stream trace = ZipfStream(kFlows, 1.2, length, /*seed=*/2024);
+      "state; a lazy ItemSource keeps memory O(batch) at any stream length");
+  std::printf("stream: %llu items over %llu flows (Zipf 1.2), generated "
+              "lazily — materialized equivalent would be %.1f MiB\n\n",
+              (unsigned long long)length, (unsigned long long)kFlows,
+              static_cast<double>(length) * sizeof(Item) / (1024.0 * 1024.0));
 
-  std::printf("%2s %12s %10s %16s %16s %14s %10s\n", "S", "items/sec",
+  std::printf("%2s %12s %10s %16s %16s %14s %10s %12s\n", "S", "items/sec",
               "ingest_s", "state_changes", "word_writes", "merge_writes",
-              "merge_s");
+              "merge_s", "peak_rss_mib");
   bench::CsvHeader(RunReport::CsvHeader());
-  for (size_t shards : {1, 2, 4, 8}) {
+  for (size_t shards : sweep) {
     ShardedEngineOptions options;
     options.shards = shards;
     options.batch_items = 8192;
@@ -76,7 +101,10 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    const ShardedRunReport report = engine.Run(trace);
+    // A fresh, identically-seeded source per S: same items every sweep
+    // point, nothing materialized, generation overlapped with ingest.
+    const ShardedRunReport report =
+        engine.Run(ZipfSource(kFlows, 1.2, length, /*seed=*/2024));
 
     uint64_t state_changes = 0, word_writes = 0, merge_writes = 0;
     for (const ShardedSketchReport& sk : report.sketches) {
@@ -84,17 +112,21 @@ int main(int argc, char** argv) {
       word_writes += sk.total.word_writes;
       merge_writes += sk.merge.word_writes;
     }
-    bench::Row("%2zu %12.0f %10.4f %16llu %16llu %14llu %10.4f", shards,
-               report.items_per_second, report.ingest_seconds,
+    bench::Row("%2zu %12.0f %10.4f %16llu %16llu %14llu %10.4f %12.1f",
+               shards, report.items_per_second, report.ingest_seconds,
                (unsigned long long)state_changes,
                (unsigned long long)word_writes,
-               (unsigned long long)merge_writes, report.merge_seconds);
+               (unsigned long long)merge_writes, report.merge_seconds,
+               bench::PeakRssMiB());
     bench::CsvBlock(report.ToCsv("S=" + std::to_string(shards)));
   }
 
   std::printf(
       "\nNote: totals aggregate every shard replica plus merge-time\n"
       "consolidation — the wear an S-device deployment pays, not one\n"
-      "sketch's. items/sec covers the parallel ingest section only.\n");
+      "sketch's. items/sec covers the parallel ingest section only and\n"
+      "includes on-the-fly Zipf generation in the partitioner thread.\n"
+      "peak_rss_mib is the process high-water mark: flat across stream\n"
+      "lengths because no stream is ever materialized.\n");
   return 0;
 }

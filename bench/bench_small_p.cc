@@ -7,6 +7,7 @@
 
 #include <cinttypes>
 
+#include "api/item_source.h"
 #include "baselines/stable_sketch.h"
 #include "bench_util.h"
 #include "core/small_p_estimator.h"
@@ -36,7 +37,7 @@ int main() {
     options.eps = 0.2;
     options.seed = 100 + static_cast<uint64_t>(p * 100);
     SmallPEstimator morris(options);
-    morris.Consume(stream);
+    morris.Drain(VectorSource(stream));
     const double est_morris = morris.EstimateFp();
     std::printf("%-6.2f %-14s %12.4e %12.4e %9.3f %14" PRIu64 " %8.4f\n", p,
                 "morris(ours)", exact, est_morris,
@@ -48,7 +49,7 @@ int main() {
     StableSketch exact_mode(p, morris.rows(),
                             100 + static_cast<uint64_t>(p * 100),
                             StableSketch::CounterMode::kExact);
-    exact_mode.Consume(stream);
+    exact_mode.Drain(VectorSource(stream));
     const double est_exact = exact_mode.EstimateFp();
     std::printf("%-6.2f %-14s %12.4e %12.4e %9.3f %14" PRIu64 " %8.4f\n", p,
                 "exact[Ind06]", exact, est_exact,

@@ -11,6 +11,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace fewstate::bench {
 
 /// Prints a banner naming the experiment and the paper artefact.
@@ -57,6 +61,23 @@ inline void CsvBlock(const std::string& csv) {
 /// the sweep's `CsvBlock` rows).
 inline void CsvHeader(const std::string& header) {
   CsvBlock(header + "\n");
+}
+
+/// Peak resident set size of this process so far, in MiB (0.0 where
+/// getrusage is unavailable). A high-water mark, not a gauge — it proves
+/// constant-memory ingest by *not* growing with stream length.
+inline double PeakRssMiB() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB
+#endif
+#else
+  return 0.0;
+#endif
 }
 
 }  // namespace fewstate::bench

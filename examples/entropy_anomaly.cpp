@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "api/item_source.h"
 #include "core/entropy_estimator.h"
 #include "stream/generators.h"
 #include "stream/stream_stats.h"
@@ -54,7 +55,7 @@ int main() {
     options.eps = 0.3;
     options.seed = 77 + epoch;
     EntropyEstimator estimator(options);
-    estimator.Consume(traffic);
+    estimator.Drain(VectorSource(traffic));
 
     const double h = estimator.EstimateEntropy();
     // Flag an epoch whose entropy sits >2 bits below the running baseline.

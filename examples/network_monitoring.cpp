@@ -1,15 +1,19 @@
-// Elephant-flow detection on synthetic packet traces — the paper's intro
+// Elephant-flow detection on a synthetic packet feed — the paper's intro
 // workload (network traffic monitoring, [BEFK17]) — on the multi-core
-// ingest path.
+// ingest path, fed by a pull-based ItemSource.
 //
-// A router line card sees a long stream of packets over a universe of
-// flow ids and must report the "elephant" flows (L2 heavy hitters). Here
-// the trace is hash-partitioned across a 4-shard ShardedEngine: every
-// shard owns an identically-configured replica of each summary, worker
-// threads ingest in parallel, and the replicas are merged afterwards. The
-// report aggregates the wear (state changes / word writes) across ALL
-// replicas plus merge-time consolidation — what an S-device deployment
-// pays — next to the ingest throughput the sharding buys.
+// A router line card sees an effectively unbounded stream of packets over
+// a universe of flow ids and must report the "elephant" flows (L2 heavy
+// hitters). Here the packet feed is a lazy GeneratorSource (the stand-in
+// for a live socket: the ROADMAP's async-ingest item — `ShardedEngine`
+// pulls batches on demand, its bounded shard queues are the backpressure
+// boundary, and no trace vector ever exists in memory). The feed is
+// hash-partitioned across a 4-shard ShardedEngine: every shard owns an
+// identically-configured replica of each summary, worker threads ingest in
+// parallel, and the replicas are merged afterwards. The report aggregates
+// the wear (state changes / word writes) across ALL replicas plus
+// merge-time consolidation — what an S-device deployment pays — next to
+// the ingest throughput the sharding buys.
 //
 // The paper's LpHeavyHitters structure is not mergeable (its reservoir is
 // tied to one stream prefix), so it runs on the single-shard path of the
@@ -84,18 +88,26 @@ void PrintRow(const char* name, const Quality& q, const ShardedSketchReport& r,
 
 int main() {
   // 2M packets over 100k flows; flow sizes follow a heavy-tailed Zipf(1.2)
-  // (a few elephants, many mice) — the canonical traffic model.
+  // (a few elephants, many mice) — the canonical traffic model. Every
+  // consumer below pulls from its own identically-seeded lazy source, so
+  // they all see the same packets without a trace vector existing
+  // anywhere.
   const uint64_t kFlows = 100000;
   const uint64_t kPackets = 2000000;
+  const uint64_t kSeed = 2024;
   const size_t kShards = 4;
   const double kEps = 0.15;  // report flows with >= eps * ||f||_2 packets
-  std::printf("synthetic trace: %llu packets over %llu flows (Zipf 1.2), "
-              "%zu-shard parallel ingest\n\n",
+  const auto PacketFeed = [&] {
+    return ZipfSource(kFlows, 1.2, kPackets, kSeed);
+  };
+  std::printf("synthetic feed: %llu packets over %llu flows (Zipf 1.2), "
+              "%zu-shard parallel ingest from a lazy source\n\n",
               (unsigned long long)kPackets, (unsigned long long)kFlows,
               kShards);
 
-  const Stream trace = ZipfStream(kFlows, 1.2, kPackets, /*seed=*/2024);
-  const StreamStats oracle(trace);
+  // Ground truth: exact per-flow counts from one oracle pass over the feed
+  // (O(flows) memory; the packets themselves are never stored).
+  StreamStats oracle{PacketFeed()};
   const double l2 = oracle.Lp(2.0);
   const std::vector<Item> elephants = oracle.LpHeavyHitters(2.0, kEps);
   const double threshold = 0.5 * kEps * l2;
@@ -112,7 +124,7 @@ int main() {
       "count_sketch", size_t{5}, size_t{4096}, uint64_t{7})));
   MustOk(engine.AddSketch(SketchFactory::Of<CountMin>(
       "count_min", size_t{4}, size_t{4096}, uint64_t{9}, false)));
-  const ShardedRunReport sharded = engine.Run(trace);
+  const ShardedRunReport sharded = engine.Run(PacketFeed());
   std::printf("%zu-shard ingest: %.0f packets/sec (ingest %.2fs, merge "
               "%.3fs)\n\n",
               kShards, sharded.items_per_second, sharded.ingest_seconds,
@@ -131,7 +143,7 @@ int main() {
   MustOk(reference.AddSketch(SketchFactory("lp_heavy_hitters", [hh_options] {
     return std::make_unique<LpHeavyHitters>(hh_options);
   })));
-  const ShardedRunReport plain = reference.Run(trace);
+  const ShardedRunReport plain = reference.Run(PacketFeed());
 
   std::printf("%-22s %8s %10s %14s %12s %10s\n", "summary", "recall",
               "precision", "state_changes", "merge_wr", "chg/packet");

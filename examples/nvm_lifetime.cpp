@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "api/item_source.h"
 #include "baselines/count_min.h"
 #include "core/full_sample_and_hold.h"
 #include "nvm/nvm_adapter.h"
@@ -64,7 +65,7 @@ int main() {
     WriteLog log(1ULL << 24);
     CountMin alg(4, 4096, 5);
     alg.mutable_accountant()->set_write_log(&log);
-    alg.Consume(stream);
+    alg.Drain(VectorSource(stream));
     Replay("CountMin[CM05]", log, alg.accountant());
   }
   {
@@ -77,7 +78,7 @@ int main() {
     options.seed = 6;
     FullSampleAndHold alg(options);
     alg.mutable_accountant()->set_write_log(&log);
-    alg.Consume(stream);
+    alg.Drain(VectorSource(stream));
     Replay("FullSampleAndHold", log, alg.accountant());
   }
 

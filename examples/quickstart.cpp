@@ -1,5 +1,6 @@
 // Quickstart: estimate F2 and the L2 heavy hitters of a skewed stream and
-// compare the number of memory writes against CountMin.
+// compare the number of memory writes against CountMin — ingesting from a
+// pull-based ItemSource instead of a prebuilt vector.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -18,13 +19,21 @@
 int main() {
   using namespace fewstate;
 
-  // A Zipf(1.3) stream: 1M updates over a universe of 10k flows. The
+  // A Zipf(1.3) workload: 1M updates over a universe of 10k flows. The
   // few-state-change advantage needs m >> n^{1-1/p} log(nm) / eps^2, so a
   // long stream over a modest universe is the natural regime (think flows
   // through a router).
+  //
+  // The engine pulls from a lazy GeneratorSource — the ROADMAP's
+  // "async ingest" shape: items are drawn on demand (here from a Zipf
+  // sampler, in production from a socket or log tailer behind the same
+  // ItemSource interface), so memory stays O(batch) no matter how long the
+  // stream runs. Nothing below materializes the 1M items.
   const uint64_t n = 10000, m = 1000000;
-  const Stream stream = ZipfStream(n, 1.3, m, /*seed=*/42);
-  const StreamStats oracle(stream);
+
+  // Ground truth for the printout: one extra pass of an identically-seeded
+  // source through the exact oracle (O(distinct) memory, not O(m)).
+  StreamStats oracle{ZipfSource(n, 1.3, m, /*seed=*/42)};
 
   // --- Few-state-change L2 heavy hitters (paper Theorem 1.1). ---
   HeavyHittersOptions hh_options;
@@ -34,17 +43,20 @@ int main() {
   hh_options.eps = 0.25;
   hh_options.seed = 1;
   // --- Classic baseline: CountMin writes on every update. ---
-  // Both sketches ride one StreamEngine pass; the RunReport carries each
-  // sketch's isolated state-change and word-write totals.
+  // Both sketches ride one StreamEngine pass over the source; the
+  // RunReport carries each sketch's isolated state-change and word-write
+  // totals.
   StreamEngine engine;
   auto& hh = *static_cast<LpHeavyHitters*>(engine.Register(
       "lp_heavy_hitters", std::make_unique<LpHeavyHitters>(hh_options)));
   engine.Register("count_min", std::make_unique<CountMin>(
                                    /*depth=*/4, /*width=*/2048, /*seed=*/2));
-  const RunReport report = engine.Run(stream);
+  const RunReport report = engine.Run(ZipfSource(n, 1.3, m, /*seed=*/42));
 
-  std::printf("stream: m=%llu updates, universe n=%llu\n",
-              (unsigned long long)m, (unsigned long long)n);
+  std::printf("stream: m=%llu updates pulled from a lazy source, "
+              "universe n=%llu\n",
+              (unsigned long long)report.items_ingested,
+              (unsigned long long)n);
   std::printf("exact F2          = %.3e\n", oracle.Fp(2.0));
   std::printf("estimated ||f||_2 = %.3e (exact %.3e)\n", hh.EstimateLpNorm(),
               oracle.Lp(2.0));

@@ -13,6 +13,16 @@ else
   echo "check.sh: clang-format not found; skipping format check" >&2
 fi
 
+# Ingestion-API gate: benches and examples must pull through an
+# `ItemSource` (`engine.Run(source)` / `alg.Drain(source)`). A direct
+# `Consume(<stream>)` call is the legacy materialized path — it caps
+# stream length at RAM and must not creep back into the drivers. (Tests
+# may use Consume freely; it is the VectorSource shim they exercise.)
+if grep -rnE '(\.|->)Consume\(' bench examples; then
+  echo "check.sh: direct Consume() in bench/ or examples/ — ingest via an ItemSource (Run/Drain) instead" >&2
+  exit 1
+fi
+
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"

@@ -1,0 +1,177 @@
+#include "api/item_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fewstate {
+
+Stream Materialize(ItemSource& source) {
+  Stream out;
+  if (const std::optional<uint64_t> hint = source.SizeHint()) {
+    out.reserve(static_cast<size_t>(*hint));
+  }
+  std::vector<Item> buffer(kDefaultDrainBatchItems);
+  ForEachBatch(source, buffer.data(), buffer.size(),
+               [&out](const Item* batch, size_t count) {
+                 out.insert(out.end(), batch, batch + count);
+               });
+  return out;
+}
+
+Stream Materialize(ItemSource&& source) { return Materialize(source); }
+
+// --- StreamingAlgorithm: the Consume/Drain pair declared in
+// common/stream_types.h lives here so the one ingest loop (ForEachBatch)
+// is the only place items move from a source into Update calls.
+
+uint64_t StreamingAlgorithm::Drain(ItemSource& source) {
+  std::vector<Item> buffer(kDefaultDrainBatchItems);
+  return ForEachBatch(source, buffer.data(), buffer.size(),
+                      [this](const Item* batch, size_t count) {
+                        for (size_t i = 0; i < count; ++i) Update(batch[i]);
+                      });
+}
+
+void StreamingAlgorithm::Consume(const Stream& stream) {
+  VectorSource source(stream);
+  Drain(source);
+}
+
+// --- VectorSource
+
+size_t VectorSource::NextBatch(Item* out, size_t cap) {
+  const Stream& s = stream();
+  const size_t n = std::min(cap, s.size() - pos_);
+  if (n > 0) {
+    std::memcpy(out, s.data() + pos_, n * sizeof(Item));
+    pos_ += n;
+  }
+  return n;
+}
+
+std::optional<uint64_t> VectorSource::SizeHint() const {
+  return stream().size() - pos_;
+}
+
+// --- GeneratorSource
+
+size_t GeneratorSource::NextBatch(Item* out, size_t cap) {
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(cap, remaining_));
+  for (size_t i = 0; i < n; ++i) out[i] = draw_();
+  remaining_ -= n;
+  return n;
+}
+
+// --- FileSource
+
+FileSource::FileSource(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return;
+  if (std::fseek(file_, 0, SEEK_END) == 0) {
+    const long bytes = std::ftell(file_);
+    if (bytes >= 0 && std::fseek(file_, 0, SEEK_SET) == 0) {
+      remaining_ = static_cast<uint64_t>(bytes) / sizeof(Item);
+      size_known_ = true;
+    }
+  }
+  // A non-seekable stream (pipe/fifo) still reads fine; it is just
+  // unsized.
+}
+
+FileSource::~FileSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+size_t FileSource::NextBatch(Item* out, size_t cap) {
+  if (file_ == nullptr || cap == 0) return 0;
+  const size_t got = std::fread(out, sizeof(Item), cap, file_);
+  remaining_ -= std::min<uint64_t>(remaining_, got);
+  return got;
+}
+
+std::optional<uint64_t> FileSource::SizeHint() const {
+  if (file_ == nullptr) return 0;  // unopenable: known-empty, not unsized
+  if (!size_known_) return std::nullopt;
+  return remaining_;
+}
+
+Status WriteTrace(const std::string& path, const Stream& stream) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("WriteTrace: cannot open '" + path + "'");
+  }
+  const size_t written =
+      stream.empty()
+          ? 0
+          : std::fwrite(stream.data(), sizeof(Item), stream.size(), file);
+  const bool closed_ok = std::fclose(file) == 0;
+  if (written != stream.size() || !closed_ok) {
+    return Status::Internal("WriteTrace: short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+// --- ConcatSource
+
+size_t ConcatSource::NextBatch(Item* out, size_t cap) {
+  if (cap == 0) return 0;  // a 0-cap probe must not consume segments
+  while (current_ < sources_.size()) {
+    const size_t got = sources_[current_]->NextBatch(out, cap);
+    if (got > 0) return got;
+    ++current_;  // this source is done; fall through to the next
+  }
+  return 0;
+}
+
+std::optional<uint64_t> ConcatSource::SizeHint() const {
+  uint64_t total = 0;
+  for (size_t i = current_; i < sources_.size(); ++i) {
+    const std::optional<uint64_t> hint = sources_[i]->SizeHint();
+    if (!hint) return std::nullopt;
+    total += *hint;
+  }
+  return total;
+}
+
+// --- InterleaveSource
+
+InterleaveSource::InterleaveSource(std::vector<ItemSource*> sources,
+                                   size_t chunk_items)
+    : sources_(std::move(sources)),
+      chunk_items_(chunk_items == 0 ? 1 : chunk_items),
+      chunk_left_(chunk_items_) {}
+
+size_t InterleaveSource::NextBatch(Item* out, size_t cap) {
+  size_t filled = 0;
+  while (filled < cap && !sources_.empty()) {
+    const size_t want = std::min(cap - filled, chunk_left_);
+    const size_t got = sources_[current_]->NextBatch(out + filled, want);
+    filled += got;
+    chunk_left_ -= got;
+    if (got == 0) {
+      // End-of-stream (a short but non-empty batch is NOT end-of-stream —
+      // the contract only promises 0 at EOS, so a short read just loops
+      // and asks the same source again): drop the source mid-chunk.
+      sources_.erase(sources_.begin() + static_cast<std::ptrdiff_t>(current_));
+      if (current_ >= sources_.size()) current_ = 0;
+      chunk_left_ = chunk_items_;
+    } else if (chunk_left_ == 0) {
+      current_ = (current_ + 1) % sources_.size();
+      chunk_left_ = chunk_items_;
+    }
+  }
+  return filled;
+}
+
+std::optional<uint64_t> InterleaveSource::SizeHint() const {
+  uint64_t total = 0;
+  for (const ItemSource* s : sources_) {
+    const std::optional<uint64_t> hint = s->SizeHint();
+    if (!hint) return std::nullopt;
+    total += *hint;
+  }
+  return total;
+}
+
+}  // namespace fewstate

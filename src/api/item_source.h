@@ -1,0 +1,203 @@
+#ifndef FEWSTATE_API_ITEM_SOURCE_H_
+#define FEWSTATE_API_ITEM_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stream_types.h"
+
+namespace fewstate {
+
+/// \brief Pull-based stream of items — the library's ingestion boundary.
+///
+/// The paper's model (§1.5) is an *unbounded* stream observed one update at
+/// a time; a `std::vector<Item>` entry point caps stream length at RAM and
+/// rules out live ingest. An `ItemSource` inverts that: consumers
+/// (`StreamEngine::Run`, `ShardedEngine::Run`, `StreamingAlgorithm::Drain`)
+/// pull batches until the source reports end-of-stream, so a run needs
+/// O(batch) memory regardless of stream length, and a generator or socket
+/// can stand behind the same interface as a prebuilt vector.
+///
+/// Sources are single-pass: once `NextBatch` returns 0 the stream is over.
+/// To replay a workload, construct a fresh source (cheap for all adapters
+/// in this header).
+class ItemSource {
+ public:
+  virtual ~ItemSource() = default;
+
+  /// \brief Fills `out[0..cap)` with up to `cap` items, in stream order,
+  /// and returns the number written. Returns 0 (with `cap` > 0) exactly at
+  /// end-of-stream; a call with `cap` == 0 returns 0 without consuming.
+  virtual size_t NextBatch(Item* out, size_t cap) = 0;
+
+  /// \brief Number of items remaining ahead of the cursor, when known.
+  /// `nullopt` means unsized (a live feed with no declared horizon) —
+  /// consumers must not require it for correctness or termination.
+  virtual std::optional<uint64_t> SizeHint() const { return std::nullopt; }
+};
+
+/// \brief Default pull granularity of the library's drains (`StreamEngine`
+/// blocks, `StreamingAlgorithm::Drain`, `Materialize`, the `StreamStats`
+/// source oracle): big enough to amortise the virtual call, small enough
+/// that an unsized drain stays O(batch) resident.
+constexpr size_t kDefaultDrainBatchItems = 1024;
+
+/// \brief The library's single ingest loop: pulls batches from `source`
+/// into `buffer` (capacity `cap` items) until end-of-stream, handing each
+/// batch to `fn(const Item* batch, size_t count)`. Returns the total item
+/// count. Every drain in the library — `StreamEngine`, `ShardedEngine`,
+/// `StreamingAlgorithm::Drain`/`Consume` — routes through this helper.
+template <typename Fn>
+uint64_t ForEachBatch(ItemSource& source, Item* buffer, size_t cap, Fn&& fn) {
+  uint64_t total = 0;
+  for (;;) {
+    const size_t got = source.NextBatch(buffer, cap);
+    if (got == 0) break;
+    fn(static_cast<const Item*>(buffer), got);
+    total += got;
+  }
+  return total;
+}
+
+/// \brief Drains `source` into a vector (reserving `SizeHint()` when
+/// given). The bridge back from lazy to materialized — for oracles and
+/// tests, not for ingest paths.
+Stream Materialize(ItemSource& source);
+Stream Materialize(ItemSource&& source);
+
+/// \brief Zero-copy view over an existing `Stream` (borrowed; the vector
+/// must outlive the source), or an owning variant for temporaries. The shim
+/// behind every legacy `Run(const Stream&)` / `Consume(const Stream&)`
+/// call.
+class VectorSource : public ItemSource {
+ public:
+  /// \brief Borrows `stream`; no copy is made.
+  explicit VectorSource(const Stream& stream) : view_(&stream) {}
+
+  /// \brief Takes ownership of `stream` (e.g. a materialized adversarial
+  /// instance handed straight to an engine).
+  explicit VectorSource(Stream&& stream)
+      : owned_(std::move(stream)), view_(nullptr) {}
+
+  size_t NextBatch(Item* out, size_t cap) override;
+  std::optional<uint64_t> SizeHint() const override;
+
+ private:
+  const Stream& stream() const { return view_ != nullptr ? *view_ : owned_; }
+
+  Stream owned_;
+  const Stream* view_;  // nullptr => owned_
+  size_t pos_ = 0;
+};
+
+/// \brief Lazily emits `length` draws of a stateful draw function —
+/// distributions stream in O(1) memory instead of materializing
+/// (`ZipfSource` / `UniformSource` / `PermutationSource` in
+/// `stream/generators.h` and `LowerBoundSource` in `stream/adversarial.h`
+/// build on this). The stand-in for a live feed in examples and benches.
+class GeneratorSource : public ItemSource {
+ public:
+  using DrawFn = std::function<Item()>;
+
+  /// \brief Emits `draw()` exactly `length` times.
+  GeneratorSource(uint64_t length, DrawFn draw)
+      : remaining_(length), draw_(std::move(draw)) {}
+
+  size_t NextBatch(Item* out, size_t cap) override;
+  std::optional<uint64_t> SizeHint() const override { return remaining_; }
+
+ private:
+  uint64_t remaining_;
+  DrawFn draw_;
+};
+
+/// \brief Replays a binary trace of host-endian u64 item records, batch by
+/// batch — captured workloads re-ingest without loading the file into RAM.
+/// Write traces with `WriteTrace` below.
+class FileSource : public ItemSource {
+ public:
+  explicit FileSource(const std::string& path);
+  ~FileSource() override;
+  FileSource(const FileSource&) = delete;
+  FileSource& operator=(const FileSource&) = delete;
+
+  /// \brief False iff the file could not be opened (such a source is
+  /// permanently at end-of-stream).
+  bool ok() const { return file_ != nullptr; }
+
+  size_t NextBatch(Item* out, size_t cap) override;
+  std::optional<uint64_t> SizeHint() const override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint64_t remaining_ = 0;
+  // False when the record count could not be determined up front (e.g. a
+  // non-seekable pipe): SizeHint() is then nullopt, not a false "0 left".
+  bool size_known_ = false;
+};
+
+/// \brief Writes `stream` as the binary record format `FileSource` reads
+/// (host-endian u64 per item; same-machine capture/replay).
+Status WriteTrace(const std::string& path, const Stream& stream);
+
+/// \brief Drains borrowed sources back to back, in order — workload
+/// phases composed into one stream (e.g. a warmup trace followed by a live
+/// generator). Sources must outlive this adapter.
+class ConcatSource : public ItemSource {
+ public:
+  explicit ConcatSource(std::vector<ItemSource*> sources)
+      : sources_(std::move(sources)) {}
+
+  size_t NextBatch(Item* out, size_t cap) override;
+  std::optional<uint64_t> SizeHint() const override;
+
+ private:
+  std::vector<ItemSource*> sources_;
+  size_t current_ = 0;
+};
+
+/// \brief Round-robin composition of borrowed sources: `chunk_items` from
+/// each live source in turn (multi-tenant traffic interleaved onto one
+/// ingest path). A source that ends drops out of the rotation; the rest
+/// keep going. Sources must outlive this adapter.
+class InterleaveSource : public ItemSource {
+ public:
+  InterleaveSource(std::vector<ItemSource*> sources, size_t chunk_items = 1);
+
+  size_t NextBatch(Item* out, size_t cap) override;
+  std::optional<uint64_t> SizeHint() const override;
+
+ private:
+  std::vector<ItemSource*> sources_;  // live sources, rotation order
+  size_t chunk_items_;
+  size_t current_ = 0;
+  size_t chunk_left_;
+};
+
+/// \brief Forwards a borrowed source but hides its `SizeHint()` —
+/// simulates a feed with no declared horizon (what a socket looks like).
+/// Consumers must behave identically with and without the hint; the
+/// sharded regression tests pin that down.
+class UnsizedSource : public ItemSource {
+ public:
+  explicit UnsizedSource(ItemSource* inner) : inner_(inner) {}
+
+  size_t NextBatch(Item* out, size_t cap) override {
+    return inner_->NextBatch(out, cap);
+  }
+  std::optional<uint64_t> SizeHint() const override { return std::nullopt; }
+
+ private:
+  ItemSource* inner_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_API_ITEM_SOURCE_H_

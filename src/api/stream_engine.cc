@@ -40,8 +40,8 @@ std::string RunReport::ToString() const {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line),
-                "stream_length=%llu wall_seconds=%.6f\n",
-                static_cast<unsigned long long>(stream_length), wall_seconds);
+                "items_ingested=%llu wall_seconds=%.6f\n",
+                static_cast<unsigned long long>(items_ingested), wall_seconds);
   out += line;
   for (const SketchRunReport& s : sketches) {
     std::snprintf(
@@ -135,10 +135,14 @@ Sketch* StreamEngine::Find(const std::string& name) const {
 }
 
 RunReport StreamEngine::Run(const Stream& stream) {
+  VectorSource source(stream);
+  return Run(source);
+}
+
+RunReport StreamEngine::Run(ItemSource& source) {
   using Clock = std::chrono::steady_clock;
 
   RunReport report;
-  report.stream_length = stream.size();
   report.sketches.resize(entries_.size());
 
   std::vector<AccountantSnapshot> before(entries_.size());
@@ -148,21 +152,23 @@ RunReport StreamEngine::Run(const Stream& stream) {
   std::vector<double> sketch_seconds(entries_.size(), 0.0);
 
   // Sketches are mutually independent, so the pass is blocked: each sketch
-  // consumes one block of the stream at a time. That costs two clock reads
-  // per (sketch, block) instead of per (sketch, item), keeping the timer
-  // overhead negligible relative to the update work.
-  constexpr size_t kBlockItems = 1024;
+  // consumes one pulled batch at a time. That costs two clock reads per
+  // (sketch, batch) instead of per (sketch, item), keeping the timer
+  // overhead negligible relative to the update work — and the resident
+  // footprint at one batch, however long the source runs.
+  std::vector<Item> buffer(kDefaultDrainBatchItems);
   const Clock::time_point run_start = Clock::now();
-  for (size_t begin = 0; begin < stream.size(); begin += kBlockItems) {
-    const size_t end = std::min(begin + kBlockItems, stream.size());
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      Sketch* sketch = entries_[i].sketch;
-      const Clock::time_point t0 = Clock::now();
-      for (size_t j = begin; j < end; ++j) sketch->Update(stream[j]);
-      sketch_seconds[i] +=
-          std::chrono::duration<double>(Clock::now() - t0).count();
-    }
-  }
+  report.items_ingested = ForEachBatch(
+      source, buffer.data(), buffer.size(),
+      [this, &sketch_seconds](const Item* batch, size_t count) {
+        for (size_t i = 0; i < entries_.size(); ++i) {
+          Sketch* sketch = entries_[i].sketch;
+          const Clock::time_point t0 = Clock::now();
+          for (size_t j = 0; j < count; ++j) sketch->Update(batch[j]);
+          sketch_seconds[i] +=
+              std::chrono::duration<double>(Clock::now() - t0).count();
+        }
+      });
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - run_start).count();
 

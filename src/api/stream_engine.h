@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "api/item_source.h"
 #include "api/sketch.h"
 #include "common/stream_types.h"
 
@@ -31,7 +32,10 @@ struct SketchRunReport {
 /// \brief Outcome of one `StreamEngine::Run`: one entry per registered
 /// sketch, in registration order.
 struct RunReport {
-  uint64_t stream_length = 0;
+  /// Items pulled from the source during the run — counted at the ingest
+  /// boundary, not read off a container, so it is exact for unsized
+  /// sources too.
+  uint64_t items_ingested = 0;
   double wall_seconds = 0.0;
   std::vector<SketchRunReport> sketches;
 
@@ -110,10 +114,20 @@ class StreamEngine {
   /// \brief The sketch registered under `name`, or nullptr.
   Sketch* Find(const std::string& name) const;
 
-  /// \brief Feeds every stream element to every registered sketch, in one
-  /// pass over `stream`, and reports per-sketch accountant deltas and
-  /// wall time. Can be called repeatedly; each call reports only its own
-  /// deltas (sketch state carries over, as in a continuous stream).
+  /// \brief Pulls `source` to end-of-stream in batches, feeding every item
+  /// to every registered sketch, and reports per-sketch accountant deltas
+  /// and wall time. Memory is O(batch) regardless of stream length — the
+  /// source need not (and for generators/sockets cannot) be materialized.
+  /// Can be called repeatedly with fresh sources; each call reports only
+  /// its own deltas (sketch state carries over, as in a continuous
+  /// stream).
+  RunReport Run(ItemSource& source);
+
+  /// \brief Rvalue convenience, e.g. `engine.Run(ZipfSource(...))`.
+  RunReport Run(ItemSource&& source) { return Run(source); }
+
+  /// \brief Legacy entry point: a one-line `VectorSource` shim over
+  /// `Run(ItemSource&)`.
   RunReport Run(const Stream& stream);
 
   /// \brief The report of the most recent `Run` (empty before the first).

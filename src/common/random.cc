@@ -22,6 +22,40 @@ inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+FeistelPermutation::FeistelPermutation(uint64_t n, uint64_t seed)
+    : n_(n == 0 ? 1 : n) {
+  // Smallest even-width domain 2^(2k) >= n, so the cycle-walk below visits
+  // an expected < 4 out-of-range points per Apply.
+  half_bits_ = 1;
+  while (half_bits_ < 31 && (uint64_t{1} << (2 * half_bits_)) < n_) {
+    ++half_bits_;
+  }
+  mask_ = (uint64_t{1} << half_bits_) - 1;
+  uint64_t sm = seed ^ 0x6a09e667f3bcc909ULL;
+  for (uint64_t& key : keys_) key = SplitMix64(&sm);
+}
+
+uint64_t FeistelPermutation::Encrypt(uint64_t x) const {
+  uint64_t left = x >> half_bits_;
+  uint64_t right = x & mask_;
+  for (uint64_t key : keys_) {
+    const uint64_t next_right = left ^ (Mix64(right ^ key) & mask_);
+    left = right;
+    right = next_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t FeistelPermutation::Apply(uint64_t x) const {
+  // Cycle-walk: the Feistel network is a bijection on the power-of-two
+  // domain; re-encrypting until the image lands inside [0, n) restricts it
+  // to a bijection on [0, n).
+  do {
+    x = Encrypt(x);
+  } while (x >= n_);
+  return x;
+}
+
 Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   s_[0] = SplitMix64(&sm);

@@ -67,6 +67,37 @@ class Rng {
   uint64_t seed_;
 };
 
+/// \brief A pseudorandom bijection on [0, n), evaluable position by
+/// position in O(1) memory.
+///
+/// A 4-round Feistel network over the smallest even-width power-of-two
+/// domain covering n, cycle-walked down to [0, n) (the domain is < 4n, so
+/// the expected walk is < 4 encryptions). This is what makes a *lazy*
+/// permutation stream possible: Fisher–Yates needs the whole array
+/// resident, a Feistel permutation needs four round keys. Not
+/// cryptographic, and a different permutation distribution than a uniform
+/// shuffle — adequate for all-distinct workloads and adversarial
+/// instances, not for statistical tests of shuffle uniformity.
+class FeistelPermutation {
+ public:
+  /// \brief Bijection on [0, n) keyed by `seed` (n == 0 is treated as 1;
+  /// n must be < 2^62).
+  FeistelPermutation(uint64_t n, uint64_t seed);
+
+  /// \brief The image of `x` (requires x < n()).
+  uint64_t Apply(uint64_t x) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t Encrypt(uint64_t x) const;
+
+  uint64_t n_;
+  unsigned half_bits_;
+  uint64_t mask_;
+  uint64_t keys_[4];
+};
+
 /// \brief Samples a variate from the standard p-stable distribution using
 /// the Chambers–Mallows–Stuck formula (paper §3.1, [Nol03]):
 ///

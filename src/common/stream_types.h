@@ -27,6 +27,8 @@ struct HeavyHitter {
   }
 };
 
+class ItemSource;  // pull-based ingestion boundary; see api/item_source.h
+
 /// \brief Interface shared by every streaming algorithm in the library.
 ///
 /// Implementations consume one update at a time via Update(); queries are
@@ -40,10 +42,17 @@ class StreamingAlgorithm {
   /// \brief Processes one stream update (an occurrence of `item`).
   virtual void Update(Item item) = 0;
 
-  /// \brief Convenience: processes a whole stream in order.
-  void Consume(const Stream& stream) {
-    for (Item item : stream) Update(item);
-  }
+  /// \brief Drains `source` to end-of-stream through the library's shared
+  /// batch loop (`ForEachBatch`); returns the number of items consumed.
+  /// Defined in api/item_source.cc — the one ingest loop.
+  uint64_t Drain(ItemSource& source);
+
+  /// \brief Rvalue convenience, e.g. `alg.Drain(ZipfSource(...))`.
+  uint64_t Drain(ItemSource&& source) { return Drain(source); }
+
+  /// \brief Convenience: processes a whole stream in order (a
+  /// `VectorSource` shim over `Drain`).
+  void Consume(const Stream& stream);
 };
 
 }  // namespace fewstate

@@ -85,10 +85,10 @@ std::string ShardedRunReport::ToString() const {
   std::string out;
   char line[320];
   std::snprintf(line, sizeof(line),
-                "sharded run: shards=%zu batch=%zu stream_length=%llu "
+                "sharded run: shards=%zu batch=%zu items_ingested=%llu "
                 "ingest=%.6fs merge=%.6fs wall=%.6fs throughput=%.0f items/s\n",
                 shards, batch_items,
-                static_cast<unsigned long long>(stream_length),
+                static_cast<unsigned long long>(items_ingested),
                 ingest_seconds, merge_seconds, wall_seconds, items_per_second);
   out += line;
   out += "  shard items:";
@@ -199,12 +199,16 @@ Sketch* ShardedEngine::Replica(size_t shard, const std::string& name) const {
 }
 
 ShardedRunReport ShardedEngine::Run(const Stream& stream) {
+  VectorSource source(stream);
+  return Run(source);
+}
+
+ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   const size_t num_shards = options_.shards;
   const size_t num_sketches = entries_.size();
   const Clock::time_point run_start = Clock::now();
 
   ShardedRunReport report;
-  report.stream_length = stream.size();
   report.shards = num_shards;
   report.batch_items = options_.batch_items;
   report.shard_items.assign(num_shards, 0);
@@ -262,25 +266,36 @@ ShardedRunReport ShardedEngine::Run(const Stream& stream) {
     });
   }
 
-  // Partition: hash on item identity so all occurrences of an item land on
-  // one shard, preserving arrival order within the shard.
+  // Partition: pull batches straight from the source and hash-route each
+  // item (on identity, so all occurrences of an item land on one shard,
+  // preserving arrival order within the shard) into the bounded shard
+  // queues. Nothing here depends on the stream's total length — the loop
+  // runs until the source reports end-of-stream, never on `SizeHint()` —
+  // and the queues' backpressure is the only buffering between a live feed
+  // and the workers.
   {
+    std::vector<Item> pull(options_.batch_items);
     std::vector<Stream> pending(num_shards);
     for (Stream& p : pending) p.reserve(options_.batch_items);
-    for (Item item : stream) {
-      const size_t s =
-          num_shards == 1
-              ? 0
-              : static_cast<size_t>(Mix64(item ^ options_.partition_seed) %
-                                    num_shards);
-      ++report.shard_items[s];
-      pending[s].push_back(item);
-      if (pending[s].size() >= options_.batch_items) {
-        queues[s]->Push(std::move(pending[s]));
-        pending[s] = Stream();
-        pending[s].reserve(options_.batch_items);
-      }
-    }
+    report.items_ingested = ForEachBatch(
+        source, pull.data(), pull.size(),
+        [&](const Item* batch, size_t count) {
+          for (size_t k = 0; k < count; ++k) {
+            const Item item = batch[k];
+            const size_t s =
+                num_shards == 1
+                    ? 0
+                    : static_cast<size_t>(
+                          Mix64(item ^ options_.partition_seed) % num_shards);
+            ++report.shard_items[s];
+            pending[s].push_back(item);
+            if (pending[s].size() >= options_.batch_items) {
+              queues[s]->Push(std::move(pending[s]));
+              pending[s] = Stream();
+              pending[s].reserve(options_.batch_items);
+            }
+          }
+        });
     for (size_t s = 0; s < num_shards; ++s) {
       if (!pending[s].empty()) queues[s]->Push(std::move(pending[s]));
       queues[s]->Close();
@@ -346,7 +361,7 @@ ShardedRunReport ShardedEngine::Run(const Stream& stream) {
   report.wall_seconds = Seconds(run_start, Clock::now());
   report.items_per_second =
       report.ingest_seconds > 0.0
-          ? static_cast<double>(report.stream_length) / report.ingest_seconds
+          ? static_cast<double>(report.items_ingested) / report.ingest_seconds
           : 0.0;
   last_report_ = report;
   return report;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "api/item_source.h"
 #include "api/mergeable.h"
 #include "api/stream_engine.h"
 #include "common/status.h"
@@ -50,10 +51,12 @@ struct ShardedSketchReport {
 
 /// \brief Outcome of one `ShardedEngine::Run`.
 struct ShardedRunReport {
-  uint64_t stream_length = 0;
+  /// Items pulled from the source — counted as the partitioner ingests, so
+  /// exact for unsized sources too.
+  uint64_t items_ingested = 0;
   size_t shards = 0;
   size_t batch_items = 0;
-  /// Items routed to each shard (sums to `stream_length`).
+  /// Items routed to each shard (sums to `items_ingested`).
   std::vector<uint64_t> shard_items;
   /// Whole run: replica construction + ingest + merge.
   double wall_seconds = 0.0;
@@ -61,7 +64,7 @@ struct ShardedRunReport {
   double ingest_seconds = 0.0;
   /// Post-join consolidation of replicas into shard 0's.
   double merge_seconds = 0.0;
-  /// stream_length / ingest_seconds.
+  /// items_ingested / ingest_seconds.
   double items_per_second = 0.0;
   std::vector<ShardedSketchReport> sketches;
 
@@ -114,10 +117,22 @@ class ShardedEngine {
   size_t size() const { return entries_.size(); }
   std::vector<std::string> names() const;
 
-  /// \brief Partitions `stream` across the shards, ingests on worker
-  /// threads, merges the replicas, and reports. Each call builds fresh
-  /// replicas (a sharded run consumes its replicas by merging them; there
-  /// is no carry-over state between runs).
+  /// \brief Pulls `source` to end-of-stream, hash-partitioning items into
+  /// the per-shard bounded batch queues, ingests on worker threads, merges
+  /// the replicas, and reports. The queues are the backpressure boundary:
+  /// the partitioner blocks when a shard falls behind, so memory stays
+  /// O(shards * batch * queue depth) however long the source runs.
+  /// Scheduling never consults `SizeHint()` — an unsized live feed ingests
+  /// identically. Each call builds fresh replicas (a sharded run consumes
+  /// its replicas by merging them; there is no carry-over state between
+  /// runs).
+  ShardedRunReport Run(ItemSource& source);
+
+  /// \brief Rvalue convenience, e.g. `engine.Run(ZipfSource(...))`.
+  ShardedRunReport Run(ItemSource&& source) { return Run(source); }
+
+  /// \brief Legacy entry point: a one-line `VectorSource` shim over
+  /// `Run(ItemSource&)`.
   ShardedRunReport Run(const Stream& stream);
 
   /// \brief The consolidated sketch for `name` after the last `Run`

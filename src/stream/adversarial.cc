@@ -29,6 +29,34 @@ LowerBoundInstance MakeLowerBoundInstance(uint64_t n, uint64_t block_len,
   return inst;
 }
 
+GeneratorSource LowerBoundSource(uint64_t n, uint64_t block_len, uint64_t seed,
+                                 LowerBoundPlan* plan) {
+  if (n == 0) n = 1;
+  if (block_len == 0) block_len = 1;
+  if (block_len > n) block_len = n;
+  // Same plan shape as MakeLowerBoundInstance: a random block placement,
+  // planted with the item the permutation would have put at the block's
+  // first position (so it occurs exactly block_len times and nowhere else,
+  // every other item at most once).
+  FeistelPermutation perm(n, Mix64(seed ^ 0x452821e638d01377ULL));
+  Rng rng(Mix64(seed ^ 0xb10cb10cb10cULL));
+  const uint64_t block_start = rng.UniformInt(n - block_len + 1);
+  const Item planted = static_cast<Item>(perm.Apply(block_start));
+  if (plan != nullptr) {
+    plan->planted_item = planted;
+    plan->block_start = block_start;
+    plan->block_len = block_len;
+  }
+  return GeneratorSource(
+      n, [perm, planted, block_start, block_len, t = uint64_t{0}]() mutable {
+        const uint64_t pos = t++;
+        if (pos >= block_start && pos < block_start + block_len) {
+          return planted;
+        }
+        return static_cast<Item>(perm.Apply(pos));
+      });
+}
+
 CounterexampleStream MakeCounterexampleStream(uint64_t n, uint64_t seed) {
   CounterexampleStream out;
   const uint64_t num_blocks =

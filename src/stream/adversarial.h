@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "api/item_source.h"
 #include "common/stream_types.h"
 
 namespace fewstate {
@@ -27,6 +28,25 @@ struct LowerBoundInstance {
 /// block length `block_len` (use round(n^{1/p})).
 LowerBoundInstance MakeLowerBoundInstance(uint64_t n, uint64_t block_len,
                                           uint64_t seed);
+
+/// \brief Where a `LowerBoundSource` planted its block (filled in by the
+/// factory before the source emits anything).
+struct LowerBoundPlan {
+  Item planted_item = 0;
+  uint64_t block_start = 0;
+  uint64_t block_len = 0;
+};
+
+/// \brief Lazy S1-shaped instance of Theorems 1.2/1.4: a pseudorandom
+/// permutation of [0, n) (`FeistelPermutation`, O(1) memory per draw) with
+/// positions [block_start, block_start + block_len) replaced by copies of
+/// one planted item. Unlike `MakeLowerBoundInstance` nothing is
+/// materialized, so the adversarial all-distinct-plus-heavy-block regime
+/// scales to 10^8+ positions; the permutation order differs from the
+/// shuffle-based instance (uniform shuffles cannot be streamed). Pass
+/// `plan` to learn the planted item / block placement.
+GeneratorSource LowerBoundSource(uint64_t n, uint64_t block_len, uint64_t seed,
+                                 LowerBoundPlan* plan = nullptr);
 
 /// \brief The §1.4 counterexample stream that defeats smallest-counter
 /// eviction (pick-and-drop style, BO13/BKSV14) but not dyadic-age

@@ -31,16 +31,34 @@ Stream ZipfGenerator::Generate(uint64_t m) {
   return stream;
 }
 
+GeneratorSource ZipfSource(uint64_t n, double s, uint64_t m, uint64_t seed) {
+  return GeneratorSource(m, [gen = ZipfGenerator(n, s, seed)]() mutable {
+    return gen.Next();
+  });
+}
+
+GeneratorSource UniformSource(uint64_t n, uint64_t m, uint64_t seed) {
+  if (n == 0) n = 1;
+  return GeneratorSource(
+      m, [n, rng = Rng(Mix64(seed ^ 0x7d3f2a1b4c5e6f80ULL))]() mutable {
+        return rng.UniformInt(n);
+      });
+}
+
+GeneratorSource PermutationSource(uint64_t n, uint64_t seed) {
+  return GeneratorSource(
+      n, [perm = FeistelPermutation(n, Mix64(seed ^ 0x452821e638d01377ULL)),
+          t = uint64_t{0}]() mutable { return perm.Apply(t++); });
+}
+
+// The materializers are one-line drains of the lazy sources, so the lazy
+// and materialized paths emit identical sequences by construction.
 Stream UniformStream(uint64_t n, uint64_t m, uint64_t seed) {
-  Rng rng(Mix64(seed ^ 0x7d3f2a1b4c5e6f80ULL));
-  Stream stream;
-  stream.reserve(m);
-  for (uint64_t t = 0; t < m; ++t) stream.push_back(rng.UniformInt(n));
-  return stream;
+  return Materialize(UniformSource(n, m, seed));
 }
 
 Stream ZipfStream(uint64_t n, double s, uint64_t m, uint64_t seed) {
-  return ZipfGenerator(n, s, seed).Generate(m);
+  return Materialize(ZipfSource(n, s, m, seed));
 }
 
 Stream PermutationStream(uint64_t n, uint64_t seed) {

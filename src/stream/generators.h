@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/item_source.h"
 #include "common/random.h"
 #include "common/stream_types.h"
 
@@ -29,10 +30,29 @@ class ZipfGenerator {
   Rng rng_;
 };
 
-/// \brief Stream of `m` uniform draws from [0, n).
+/// \brief Lazy Zipf(s) source of `m` items over [0, n): the same draw
+/// sequence as `ZipfStream(n, s, m, seed)` without materializing it —
+/// O(n) setup (the CDF table), O(1) memory per item, so 10^8+-item skewed
+/// workloads stream through an engine in O(batch) resident memory.
+GeneratorSource ZipfSource(uint64_t n, double s, uint64_t m, uint64_t seed);
+
+/// \brief Lazy source of `m` uniform draws from [0, n); the same sequence
+/// as `UniformStream(n, m, seed)`.
+GeneratorSource UniformSource(uint64_t n, uint64_t m, uint64_t seed);
+
+/// \brief Lazy all-distinct source: each item of [0, n) exactly once, in
+/// `FeistelPermutation` pseudorandom order (O(1) memory per draw — a
+/// different permutation distribution than `PermutationStream`'s shuffle,
+/// which must materialize). The "all distinct" regime (Fp = n) at stream
+/// lengths a shuffle could never hold in RAM.
+GeneratorSource PermutationSource(uint64_t n, uint64_t seed);
+
+/// \brief Stream of `m` uniform draws from [0, n). Materializes
+/// `UniformSource`.
 Stream UniformStream(uint64_t n, uint64_t m, uint64_t seed);
 
-/// \brief Zipf(s) stream of length m over [0, n).
+/// \brief Zipf(s) stream of length m over [0, n). Materializes
+/// `ZipfSource`.
 Stream ZipfStream(uint64_t n, double s, uint64_t m, uint64_t seed);
 
 /// \brief A uniformly random permutation of [0, n): every item exactly

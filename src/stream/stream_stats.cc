@@ -1,17 +1,31 @@
 #include "stream/stream_stats.h"
 
 #include <cmath>
+#include <vector>
 
+#include "api/item_source.h"
 #include "common/math_util.h"
 
 namespace fewstate {
 
 StreamStats::StreamStats(const Stream& stream) {
-  for (Item item : stream) {
-    const uint64_t f = ++freqs_[item];
-    if (f > max_frequency_) max_frequency_ = f;
-  }
-  length_ = stream.size();
+  VectorSource source(stream);
+  Tally(source);
+}
+
+StreamStats::StreamStats(ItemSource& source) { Tally(source); }
+
+StreamStats::StreamStats(ItemSource&& source) { Tally(source); }
+
+void StreamStats::Tally(ItemSource& source) {
+  std::vector<Item> buffer(kDefaultDrainBatchItems);
+  length_ += ForEachBatch(source, buffer.data(), buffer.size(),
+                          [this](const Item* batch, size_t count) {
+                            for (size_t i = 0; i < count; ++i) {
+                              const uint64_t f = ++freqs_[batch[i]];
+                              if (f > max_frequency_) max_frequency_ = f;
+                            }
+                          });
 }
 
 uint64_t StreamStats::Frequency(Item item) const {

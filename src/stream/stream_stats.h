@@ -9,12 +9,23 @@
 
 namespace fewstate {
 
+class ItemSource;  // api/item_source.h
+
 /// \brief Exact (offline) statistics of a stream — the oracle that tests
 /// and benchmarks compare estimators against.
 class StreamStats {
  public:
   /// \brief Computes exact frequencies in one pass.
   explicit StreamStats(const Stream& stream);
+
+  /// \brief Computes exact frequencies by draining `source` — O(distinct)
+  /// memory instead of O(stream length), so a ground-truth oracle can ride
+  /// the same lazy generator the engine ingests from (construct a fresh,
+  /// identically-seeded source for each pass).
+  explicit StreamStats(ItemSource& source);
+
+  /// \brief Rvalue convenience, e.g. `StreamStats stats{ZipfSource(...)}`.
+  explicit StreamStats(ItemSource&& source);
 
   /// \brief Exact frequency of `item`.
   uint64_t Frequency(Item item) const;
@@ -50,6 +61,8 @@ class StreamStats {
   }
 
  private:
+  void Tally(ItemSource& source);
+
   std::unordered_map<Item, uint64_t> freqs_;
   uint64_t length_ = 0;
   uint64_t max_frequency_ = 0;

@@ -1,0 +1,303 @@
+// The pull-based ingestion API: every ItemSource adapter must be
+// indistinguishable, at the engine boundary, from the materialized vector
+// it stands for — bitwise on estimates and on StateAccountant totals —
+// and the composition adapters (Concat/Interleave) must equal the
+// composed vectors. FileSource round-trips a written trace.
+
+#include "api/item_source.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/stream_engine.h"
+#include "baselines/count_min.h"
+#include "baselines/space_saving.h"
+#include "core/heavy_hitters.h"
+#include "stream/adversarial.h"
+#include "stream/generators.h"
+#include "stream/stream_stats.h"
+
+namespace fewstate {
+namespace {
+
+constexpr uint64_t kUniverse = 500;
+constexpr uint64_t kLength = 30000;
+constexpr uint64_t kSeed = 99;
+
+// A heterogeneous roster (deterministic given fixed seeds): a linear
+// sketch, a counter summary, and the paper's own reservoir structure.
+void RegisterRoster(StreamEngine* engine) {
+  engine->Register("count_min",
+                   std::make_unique<CountMin>(4, 256, /*seed=*/21));
+  engine->Register("space_saving", std::make_unique<SpaceSaving>(128));
+  HeavyHittersOptions hh;
+  hh.universe = kUniverse;
+  hh.stream_length_hint = kLength;
+  hh.p = 2.0;
+  hh.eps = 0.3;
+  hh.seed = 7;
+  engine->Register("lp_heavy_hitters", std::make_unique<LpHeavyHitters>(hh));
+}
+
+// Engine-over-`source` must equal engine-over-`stream` sketch-for-sketch:
+// identical accountant deltas and identical point estimates over the whole
+// universe.
+void ExpectEngineEquivalence(ItemSource& source, const Stream& stream) {
+  StreamEngine from_vector;
+  StreamEngine from_source;
+  RegisterRoster(&from_vector);
+  RegisterRoster(&from_source);
+
+  const RunReport want = from_vector.Run(stream);
+  const RunReport got = from_source.Run(source);
+
+  EXPECT_EQ(got.items_ingested, stream.size());
+  EXPECT_EQ(want.items_ingested, stream.size());
+  ASSERT_EQ(got.sketches.size(), want.sketches.size());
+  for (size_t i = 0; i < want.sketches.size(); ++i) {
+    const SketchRunReport& w = want.sketches[i];
+    const SketchRunReport& g = got.sketches[i];
+    EXPECT_EQ(g.updates, w.updates) << w.name;
+    EXPECT_EQ(g.state_changes, w.state_changes) << w.name;
+    EXPECT_EQ(g.word_writes, w.word_writes) << w.name;
+    EXPECT_EQ(g.suppressed_writes, w.suppressed_writes) << w.name;
+    EXPECT_EQ(g.word_reads, w.word_reads) << w.name;
+    EXPECT_EQ(g.peak_allocated_words, w.peak_allocated_words) << w.name;
+  }
+  for (const std::string& name : from_vector.names()) {
+    for (Item j = 0; j < kUniverse; ++j) {
+      EXPECT_EQ(from_source.Find(name)->EstimateFrequency(j),
+                from_vector.Find(name)->EstimateFrequency(j))
+          << name << " diverged at item " << j;
+    }
+  }
+}
+
+TEST(VectorSource, BatchesAreTheVectorInOrder) {
+  const Stream stream = ZipfStream(kUniverse, 1.2, 1000, kSeed);
+  VectorSource source(stream);
+  ASSERT_TRUE(source.SizeHint().has_value());
+  EXPECT_EQ(*source.SizeHint(), stream.size());
+
+  // Odd cap, so batch boundaries never align with the vector's size.
+  Item buffer[7];
+  Stream drained;
+  size_t got;
+  while ((got = source.NextBatch(buffer, 7)) > 0) {
+    drained.insert(drained.end(), buffer, buffer + got);
+    EXPECT_EQ(*source.SizeHint(), stream.size() - drained.size());
+  }
+  EXPECT_EQ(drained, stream);
+  // End-of-stream is sticky.
+  EXPECT_EQ(source.NextBatch(buffer, 7), 0u);
+}
+
+TEST(VectorSource, OwningVariantAndZeroCap) {
+  VectorSource source(Stream{1, 2, 3});
+  Item buffer[4];
+  EXPECT_EQ(source.NextBatch(buffer, 0), 0u);  // cap 0 consumes nothing
+  EXPECT_EQ(*source.SizeHint(), 3u);
+  EXPECT_EQ(source.NextBatch(buffer, 4), 3u);
+  EXPECT_EQ(buffer[0], 1u);
+  EXPECT_EQ(buffer[2], 3u);
+
+  VectorSource empty((Stream()));
+  EXPECT_EQ(*empty.SizeHint(), 0u);
+  EXPECT_EQ(empty.NextBatch(buffer, 4), 0u);
+}
+
+TEST(VectorSource, EngineEquivalence) {
+  const Stream stream = ZipfStream(kUniverse, 1.2, kLength, kSeed);
+  VectorSource source(stream);
+  ExpectEngineEquivalence(source, stream);
+}
+
+TEST(GeneratorSource, ZipfMatchesMaterializedStream) {
+  const Stream stream = ZipfStream(kUniverse, 1.2, kLength, kSeed);
+  EXPECT_EQ(Materialize(ZipfSource(kUniverse, 1.2, kLength, kSeed)), stream);
+
+  GeneratorSource source = ZipfSource(kUniverse, 1.2, kLength, kSeed);
+  EXPECT_EQ(*source.SizeHint(), kLength);
+  ExpectEngineEquivalence(source, stream);
+}
+
+TEST(GeneratorSource, UniformMatchesMaterializedStream) {
+  const Stream stream = UniformStream(kUniverse, kLength, kSeed);
+  GeneratorSource source = UniformSource(kUniverse, kLength, kSeed);
+  ExpectEngineEquivalence(source, stream);
+}
+
+TEST(GeneratorSource, PermutationSourceIsAPermutation) {
+  const uint64_t n = 10000;
+  Stream drained = Materialize(PermutationSource(n, kSeed));
+  ASSERT_EQ(drained.size(), n);
+  std::sort(drained.begin(), drained.end());
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(drained[i], i) << "not a permutation of [0, n)";
+  }
+  // Keyed: a different seed gives a different order.
+  EXPECT_NE(Materialize(PermutationSource(n, kSeed + 1)),
+            Materialize(PermutationSource(n, kSeed)));
+}
+
+TEST(GeneratorSource, LowerBoundSourceShape) {
+  const uint64_t n = 4096;
+  const uint64_t block_len = 64;
+  LowerBoundPlan plan;
+  const Stream s1 = Materialize(LowerBoundSource(n, block_len, kSeed, &plan));
+  ASSERT_EQ(s1.size(), n);
+  EXPECT_EQ(plan.block_len, block_len);
+  ASSERT_LE(plan.block_start + plan.block_len, n);
+
+  // The planted item fills exactly the block; everything else occurs at
+  // most once (the Theorem 1.2/1.4 S1 shape).
+  const StreamStats stats(s1);
+  EXPECT_EQ(stats.Frequency(plan.planted_item), block_len);
+  EXPECT_EQ(stats.max_frequency(), block_len);
+  EXPECT_EQ(stats.distinct(), n - block_len + 1);
+  for (uint64_t t = 0; t < block_len; ++t) {
+    EXPECT_EQ(s1[plan.block_start + t], plan.planted_item);
+  }
+}
+
+TEST(FileSource, RoundTripsAWrittenTrace) {
+  const Stream stream = ZipfStream(kUniverse, 1.2, kLength, kSeed);
+  const std::string path = ::testing::TempDir() + "/fewstate_trace.u64";
+  ASSERT_TRUE(WriteTrace(path, stream).ok());
+
+  {
+    FileSource source(path);
+    ASSERT_TRUE(source.ok());
+    ASSERT_TRUE(source.SizeHint().has_value());
+    EXPECT_EQ(*source.SizeHint(), stream.size());
+    EXPECT_EQ(Materialize(source), stream);
+  }
+  {
+    FileSource source(path);
+    ExpectEngineEquivalence(source, stream);
+  }
+  std::remove(path.c_str());
+
+  FileSource missing(::testing::TempDir() + "/no_such_trace.u64");
+  EXPECT_FALSE(missing.ok());
+  Item buffer[4];
+  EXPECT_EQ(missing.NextBatch(buffer, 4), 0u);
+  EXPECT_EQ(*missing.SizeHint(), 0u);
+}
+
+TEST(ConcatSource, EqualsConcatenatedVectors) {
+  const Stream a = ZipfStream(kUniverse, 1.2, 7001, kSeed);
+  const Stream b = UniformStream(kUniverse, 4999, kSeed + 1);
+  const Stream c;  // empty segment in the middle must be skipped cleanly
+  const Stream d = ZipfStream(kUniverse, 1.4, 3000, kSeed + 2);
+
+  Stream expected = a;
+  expected.insert(expected.end(), b.begin(), b.end());
+  expected.insert(expected.end(), d.begin(), d.end());
+
+  VectorSource sa(a), sb(b), sc(c), sd(d);
+  ConcatSource concat({&sa, &sb, &sc, &sd});
+  ASSERT_TRUE(concat.SizeHint().has_value());
+  EXPECT_EQ(*concat.SizeHint(), expected.size());
+  Item probe[1];
+  EXPECT_EQ(concat.NextBatch(probe, 0), 0u);  // 0-cap probe consumes nothing
+  ExpectEngineEquivalence(concat, expected);
+}
+
+TEST(ConcatSource, UnsizedSegmentPoisonsTheHint) {
+  const Stream a = ZipfStream(kUniverse, 1.2, 100, kSeed);
+  VectorSource sa(a);
+  GeneratorSource gen = UniformSource(kUniverse, 100, kSeed);
+  UnsizedSource hidden(&gen);
+  ConcatSource concat({&sa, &hidden});
+  EXPECT_EQ(concat.SizeHint(), std::nullopt);
+  EXPECT_EQ(Materialize(concat).size(), 200u);
+}
+
+TEST(InterleaveSource, RoundRobinsInChunks) {
+  // Two tenants of different lengths, chunk 3: the rotation emits 3 from
+  // each in turn, and the longer tenant finishes alone after the shorter
+  // drops out.
+  const Stream a{1, 1, 1, 1, 1, 1, 1, 1};           // 8 items
+  const Stream b{2, 2, 2, 2};                       // 4 items
+  VectorSource sa(a), sb(b);
+  InterleaveSource inter({&sa, &sb}, /*chunk_items=*/3);
+  ASSERT_TRUE(inter.SizeHint().has_value());
+  EXPECT_EQ(*inter.SizeHint(), 12u);
+
+  const Stream expected{1, 1, 1, 2, 2, 2, 1, 1, 1, 2, 1, 1};
+  EXPECT_EQ(Materialize(inter), expected);
+}
+
+TEST(InterleaveSource, EngineEquivalenceOnComposedWorkload) {
+  // A multi-tenant mix: a skewed tenant and a uniform tenant interleaved
+  // in 64-item chunks must drive an engine exactly like the equivalent
+  // materialized interleaving.
+  const Stream a = ZipfStream(kUniverse, 1.3, 20000, kSeed);
+  const Stream b = UniformStream(kUniverse, 10000, kSeed + 1);
+
+  Stream expected;
+  {
+    VectorSource sa(a), sb(b);
+    InterleaveSource inter({&sa, &sb}, /*chunk_items=*/64);
+    expected = Materialize(inter);
+  }
+  ASSERT_EQ(expected.size(), a.size() + b.size());
+
+  VectorSource sa(a), sb(b);
+  InterleaveSource inter({&sa, &sb}, /*chunk_items=*/64);
+  ExpectEngineEquivalence(inter, expected);
+}
+
+TEST(UnsizedSource, HidesTheHintButNotTheItems) {
+  const Stream stream = ZipfStream(kUniverse, 1.2, kLength, kSeed);
+  VectorSource inner(stream);
+  UnsizedSource source(&inner);
+  EXPECT_EQ(source.SizeHint(), std::nullopt);
+  ExpectEngineEquivalence(source, stream);
+}
+
+TEST(StreamingAlgorithm, DrainEqualsConsume) {
+  // The dedup satellite: Consume(Stream) is a VectorSource shim over
+  // Drain, so the two must leave identical sketch state and wear.
+  const Stream stream = ZipfStream(kUniverse, 1.2, kLength, kSeed);
+
+  CountMin consumed(4, 256, 21);
+  consumed.Consume(stream);
+
+  CountMin drained(4, 256, 21);
+  EXPECT_EQ(drained.Drain(ZipfSource(kUniverse, 1.2, kLength, kSeed)),
+            kLength);
+
+  EXPECT_EQ(drained.accountant().state_changes(),
+            consumed.accountant().state_changes());
+  EXPECT_EQ(drained.accountant().word_writes(),
+            consumed.accountant().word_writes());
+  for (Item j = 0; j < kUniverse; ++j) {
+    EXPECT_EQ(drained.EstimateFrequency(j), consumed.EstimateFrequency(j));
+  }
+}
+
+TEST(StreamStats, SourceOracleMatchesVectorOracle) {
+  const Stream stream = ZipfStream(kUniverse, 1.2, kLength, kSeed);
+  const StreamStats from_vector(stream);
+  GeneratorSource source = ZipfSource(kUniverse, 1.2, kLength, kSeed);
+  const StreamStats from_source(source);
+
+  EXPECT_EQ(from_source.length(), from_vector.length());
+  EXPECT_EQ(from_source.distinct(), from_vector.distinct());
+  EXPECT_EQ(from_source.max_frequency(), from_vector.max_frequency());
+  EXPECT_DOUBLE_EQ(from_source.Fp(2.0), from_vector.Fp(2.0));
+  for (Item j = 0; j < kUniverse; ++j) {
+    EXPECT_EQ(from_source.Frequency(j), from_vector.Frequency(j));
+  }
+}
+
+}  // namespace
+}  // namespace fewstate

@@ -79,7 +79,7 @@ TEST(ShardedEngine, SingleShardMatchesStreamEngineSketchForSketch) {
   const ShardedRunReport report = sharded.Run(stream);
 
   EXPECT_EQ(report.shards, 1u);
-  EXPECT_EQ(report.stream_length, kLength);
+  EXPECT_EQ(report.items_ingested, kLength);
   ASSERT_EQ(report.shard_items.size(), 1u);
   EXPECT_EQ(report.shard_items[0], kLength);
   EXPECT_GT(report.items_per_second, 0.0);
@@ -279,15 +279,95 @@ TEST(ShardedEngine, EmptyAndTinyStreams) {
                   .ok());
 
   const ShardedRunReport empty = sharded.Run(Stream{});
-  EXPECT_EQ(empty.stream_length, 0u);
+  EXPECT_EQ(empty.items_ingested, 0u);
   EXPECT_EQ(empty.Find("count_min")->total.state_changes, 0u)
       << "merging all-zero tables must not register wear";
 
   const ShardedRunReport tiny = sharded.Run(Stream{1, 2, 3});
-  EXPECT_EQ(tiny.stream_length, 3u);
+  EXPECT_EQ(tiny.items_ingested, 3u);
   uint64_t routed = 0;
   for (uint64_t items : tiny.shard_items) routed += items;
   EXPECT_EQ(routed, 3u);
+}
+
+TEST(ShardedEngine, SourceFedSingleShardMatchesVectorFedStreamEngine) {
+  // The acceptance bar of the ItemSource redesign: S=1 ingest from a lazy
+  // generator is sketch-for-sketch identical — estimates and accountant
+  // totals — to a StreamEngine pass over the materialized vector.
+  const Stream stream = ZipfStream(kUniverse, 1.2, kLength, kSeed);
+
+  StreamEngine reference;
+  ShardedEngineOptions options;
+  options.shards = 1;
+  options.batch_items = 512;
+  ShardedEngine sharded(options);
+  for (const SketchFactory& f : MergeableFactories()) {
+    reference.Register(f.name(), f.Make());
+    ASSERT_TRUE(sharded.AddSketch(f).ok()) << f.name();
+  }
+
+  const RunReport plain = reference.Run(stream);
+  const ShardedRunReport report =
+      sharded.Run(ZipfSource(kUniverse, 1.2, kLength, kSeed));
+
+  EXPECT_EQ(report.items_ingested, kLength);
+  for (const std::string& name : reference.names()) {
+    const SketchRunReport* want = plain.Find(name);
+    const ShardedSketchReport* got = report.Find(name);
+    ASSERT_NE(got, nullptr) << name;
+    EXPECT_EQ(got->total.state_changes, want->state_changes) << name;
+    EXPECT_EQ(got->total.word_writes, want->word_writes) << name;
+    EXPECT_EQ(got->total.suppressed_writes, want->suppressed_writes) << name;
+    EXPECT_EQ(got->total.word_reads, want->word_reads) << name;
+    for (Item j = 0; j < kUniverse; ++j) {
+      EXPECT_EQ(sharded.Merged(name)->EstimateFrequency(j),
+                reference.Find(name)->EstimateFrequency(j))
+          << name << " diverged at item " << j;
+    }
+  }
+}
+
+TEST(ShardedEngine, UnsizedSourceIngestsIdentically) {
+  // Regression for the size-agnostic scheduler: a source that declines to
+  // declare a horizon (SizeHint() == nullopt, i.e. a live socket) must
+  // partition, ingest, and merge exactly like the same items from a sized
+  // vector — batch scheduling may not consult the size up front.
+  const Stream stream = ZipfStream(kUniverse, 1.2, kLength, kSeed);
+
+  ShardedEngineOptions options;
+  options.shards = 4;
+  options.batch_items = 256;
+
+  ShardedEngine sized(options);
+  ShardedEngine unsized(options);
+  for (const SketchFactory& f : MergeableFactories()) {
+    ASSERT_TRUE(sized.AddSketch(f).ok());
+    ASSERT_TRUE(unsized.AddSketch(f).ok());
+  }
+
+  const ShardedRunReport want = sized.Run(stream);
+
+  GeneratorSource generator = ZipfSource(kUniverse, 1.2, kLength, kSeed);
+  UnsizedSource hidden(&generator);
+  ASSERT_EQ(hidden.SizeHint(), std::nullopt);
+  const ShardedRunReport got = unsized.Run(hidden);
+
+  EXPECT_EQ(got.items_ingested, kLength)
+      << "items must be counted at the ingest boundary, not from a hint";
+  EXPECT_EQ(got.shard_items, want.shard_items);
+  ASSERT_EQ(got.sketches.size(), want.sketches.size());
+  for (size_t i = 0; i < want.sketches.size(); ++i) {
+    const ShardedSketchReport& w = want.sketches[i];
+    const ShardedSketchReport& g = got.sketches[i];
+    EXPECT_EQ(g.total.state_changes, w.total.state_changes) << w.name;
+    EXPECT_EQ(g.total.word_writes, w.total.word_writes) << w.name;
+    EXPECT_EQ(g.merge.word_writes, w.merge.word_writes) << w.name;
+    for (Item j = 0; j < kUniverse; ++j) {
+      EXPECT_EQ(unsized.Merged(w.name)->EstimateFrequency(j),
+                sized.Merged(w.name)->EstimateFrequency(j))
+          << w.name << " diverged at item " << j;
+    }
+  }
 }
 
 }  // namespace

@@ -111,7 +111,7 @@ TEST(SketchApi, EngineMatchesStandaloneForEveryImplementation) {
   for (const auto& sketch : standalone) sketch->Consume(stream);
   const RunReport report = engine.Run(stream);
   ASSERT_EQ(report.sketches.size(), standalone.size());
-  EXPECT_EQ(report.stream_length, kLength);
+  EXPECT_EQ(report.items_ingested, kLength);
 
   for (size_t i = 0; i < standalone.size(); ++i) {
     const Sketch* via_engine = engine.Find(names[i]);
