@@ -1,12 +1,27 @@
-// E10 — reproduces the §1.1 motivation quantities: replaying each
-// algorithm's write trace onto the simulated NVM device yields energy,
-// wear and projected device lifetime under asymmetric read/write costs.
+// E10 — reproduces the §1.1 motivation quantities: each algorithm's state
+// writes are priced on the simulated NVM device *as they happen* (the
+// live WriteSink pipeline), yielding energy, wear and projected device
+// lifetime under asymmetric read/write costs.
 //
 // State-change-frugal algorithms should show an order-of-magnitude
 // advantage in writes (hence lifetime) over the always-write baselines,
 // under every wear-leveling policy.
+//
+// Default mode drives each algorithm once through a TeeSink feeding three
+// live devices (one per policy) plus a bounded WriteLog, and prints a
+// log+replay cross-check row — identical to the live "direct" row, which
+// is the pipeline's core invariant.
+//
+// Live mode (`bench_nvm_wear --live [items]`, default 10^8) is the scale
+// the log-based path cannot reach: the stream is generated lazily, every
+// write lands on the device as it happens (O(device) memory, zero drops),
+// while a 2^22-capacity WriteLog teed into the same pass drops >95% of
+// its records — the wear its replay reports is a severe underestimate.
+// The peak-RSS column shows the live path's footprint stays flat.
 
 #include <cinttypes>
+#include <cstdlib>
+#include <cstring>
 
 #include "api/item_source.h"
 #include "baselines/count_min.h"
@@ -14,6 +29,7 @@
 #include "baselines/space_saving.h"
 #include "bench_util.h"
 #include "core/full_sample_and_hold.h"
+#include "nvm/live_sink.h"
 #include "nvm/nvm_adapter.h"
 #include "nvm/nvm_device.h"
 #include "nvm/wear_leveling.h"
@@ -23,36 +39,63 @@ using namespace fewstate;
 
 namespace {
 
-void Report(const char* name, const WriteLog& log,
-            const StateAccountant& accountant) {
+NvmConfig BenchConfig() {
   NvmConfig config;
   config.num_cells = 1 << 16;
   config.endurance = 1000000;  // shrunk so lifetimes are finite in-run
-
-  struct PolicyCase {
-    const char* label;
-    std::unique_ptr<WearLevelingPolicy> policy;
-  };
-  std::vector<PolicyCase> cases;
-  cases.push_back({"direct", MakeDirectMapping(config.num_cells)});
-  cases.push_back({"rotate", MakeRotatingMapping(config.num_cells, 64)});
-  cases.push_back({"hashed", MakeHashedMapping(config.num_cells, 5)});
-
-  for (auto& pc : cases) {
-    NvmDevice device(config);
-    const NvmReplayReport report =
-        ReplayOnNvm(log, accountant, pc.policy.get(), &device);
-    std::printf("%-22s %-8s %12" PRIu64 " %12" PRIu64 " %10" PRIu64
-                " %12.1f %14.3e\n",
-                name, pc.label, report.writes_replayed, report.reads_replayed,
-                report.max_cell_wear, report.wear_imbalance,
-                report.projected_stream_replays_to_failure);
-  }
+  return config;
 }
 
-}  // namespace
+NvmSpec SpecFor(NvmSpec::Leveling leveling) {
+  NvmSpec spec;
+  spec.config = BenchConfig();
+  spec.leveling = leveling;
+  spec.rotate_period = 64;
+  spec.hash_seed = 5;
+  return spec;
+}
 
-int main() {
+// Offline cross-check: replay a captured log through a device/policy pair
+// minted from `spec` — must match the corresponding live row bit for bit.
+NvmReplayReport ReplayWith(const NvmSpec& spec, const WriteLog& log,
+                           const StateAccountant& accountant) {
+  NvmDevice device(spec.config);
+  auto policy = spec.MakePolicy();
+  return ReplayOnNvm(log, accountant, policy.get(), &device);
+}
+
+void PrintRow(const char* name, const char* policy,
+              const NvmReplayReport& report) {
+  std::printf("%-22s %-12s %12" PRIu64 " %12" PRIu64 " %10" PRIu64
+              " %12.1f %14.3e %9" PRIu64 "\n",
+              name, policy, report.writes_replayed, report.reads_replayed,
+              report.max_cell_wear, report.wear_imbalance,
+              report.projected_stream_replays_to_failure,
+              report.dropped_writes);
+}
+
+// One pass, four sinks: three live devices (one per policy) and a log for
+// the replay cross-check. Exercises TeeSink exactly as deployments would.
+template <typename Alg>
+void RunDefaultCase(const char* name, Alg& alg, const Stream& stream) {
+  LiveNvmSink direct(SpecFor(NvmSpec::Leveling::kDirect));
+  LiveNvmSink rotate(SpecFor(NvmSpec::Leveling::kRotating));
+  LiveNvmSink hashed(SpecFor(NvmSpec::Leveling::kHashed));
+  WriteLog log(1ULL << 24);
+  TeeSink tee({&direct, &rotate, &hashed, &log});
+  alg.mutable_accountant()->set_write_sink(&tee);
+  alg.Drain(VectorSource(stream));
+
+  PrintRow(name, "direct", direct.Report());
+  PrintRow(name, "rotate", rotate.Report());
+  PrintRow(name, "hashed", hashed.Report());
+
+  PrintRow(name, "log+replay",
+           ReplayWith(SpecFor(NvmSpec::Leveling::kDirect), log,
+                      alg.accountant()));
+}
+
+int RunDefault() {
   bench::Banner("E10 bench_nvm_wear", "§1.1 motivation (NVM wear/energy)",
                 "fewer state changes => longer device lifetime and less "
                 "write energy on asymmetric-cost memory");
@@ -61,32 +104,23 @@ int main() {
   const uint64_t m = 200000;
   const Stream stream = ZipfStream(n, 1.3, m, /*seed=*/55);
 
-  std::printf("%-22s %-8s %12s %12s %10s %12s %14s\n", "algorithm", "policy",
-              "writes", "reads", "max_wear", "imbalance", "replays_to_eol");
+  std::printf("%-22s %-12s %12s %12s %10s %12s %14s %9s\n", "algorithm",
+              "policy", "writes", "reads", "max_wear", "imbalance",
+              "replays_to_eol", "dropped");
 
   {
-    WriteLog log(1ULL << 24);
     CountMin alg(4, 2048, 2);
-    alg.mutable_accountant()->set_write_log(&log);
-    alg.Drain(VectorSource(stream));
-    Report("CountMin[CM05]", log, alg.accountant());
+    RunDefaultCase("CountMin[CM05]", alg, stream);
   }
   {
-    WriteLog log(1ULL << 24);
     CountSketch alg(4, 2048, 3);
-    alg.mutable_accountant()->set_write_log(&log);
-    alg.Drain(VectorSource(stream));
-    Report("CountSketch[CCF04]", log, alg.accountant());
+    RunDefaultCase("CountSketch[CCF04]", alg, stream);
   }
   {
-    WriteLog log(1ULL << 24);
     SpaceSaving alg(1024);
-    alg.mutable_accountant()->set_write_log(&log);
-    alg.Drain(VectorSource(stream));
-    Report("SpaceSaving[MAA05]", log, alg.accountant());
+    RunDefaultCase("SpaceSaving[MAA05]", alg, stream);
   }
   {
-    WriteLog log(1ULL << 24);
     FullSampleAndHoldOptions options;
     options.universe = n;
     options.stream_length_hint = m;
@@ -94,12 +128,88 @@ int main() {
     options.eps = 0.3;
     options.seed = 4;
     FullSampleAndHold alg(options);
-    alg.mutable_accountant()->set_write_log(&log);
-    alg.Drain(VectorSource(stream));
-    Report("FullSampleAndHold", log, alg.accountant());
+    RunDefaultCase("FullSampleAndHold", alg, stream);
   }
 
   std::printf("\nenergy model: writes cost 10x reads (PCM-like); lifetime = "
-              "endurance / max cell wear\n");
+              "endurance / max cell wear.\nthe log+replay rows equal the "
+              "live direct rows bit for bit — one costing core.\n");
   return 0;
+}
+
+// Live mode: wear at a stream length the recorded log cannot hold.
+template <typename Alg>
+void RunLiveCase(const char* name, Alg& alg, uint64_t items,
+                 uint64_t flows) {
+  LiveNvmSink live(SpecFor(NvmSpec::Leveling::kDirect));
+  WriteLog log;  // default 2^22 capacity — the old offline path's budget
+  TeeSink tee({&live, &log});
+  alg.mutable_accountant()->set_write_sink(&tee);
+  alg.Drain(ZipfSource(flows, 1.2, items, /*seed=*/77));
+
+  const NvmReplayReport exact = live.Report();
+  const NvmReplayReport truncated = ReplayWith(
+      SpecFor(NvmSpec::Leveling::kDirect), log, alg.accountant());
+
+  const double dropped_pct =
+      alg.accountant().word_writes() == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(truncated.dropped_writes) /
+                static_cast<double>(alg.accountant().word_writes());
+  std::printf("%-20s %11" PRIu64 " %13" PRIu64 " %9" PRIu64 " %13" PRIu64
+              " %9.1f%% %13" PRIu64 " %12.1f\n",
+              name, items, exact.writes_replayed, exact.max_cell_wear,
+              truncated.max_cell_wear, dropped_pct, exact.dropped_writes,
+              bench::PeakRssMiB());
+}
+
+int RunLive(uint64_t items) {
+  bench::Banner(
+      "E10 bench_nvm_wear --live",
+      "exact wear on streams past WriteLog capacity (live WriteSink)",
+      "the live device prices every write at 10^8 items in O(device) "
+      "memory; the 2^22-entry log drops >95% and under-reports max wear");
+
+  const uint64_t flows = 100000;
+  std::printf("stream: %" PRIu64 " items over %" PRIu64
+              " flows (Zipf 1.2), generated lazily\n\n",
+              items, flows);
+  std::printf("%-20s %11s %13s %9s %13s %10s %13s %12s\n", "algorithm",
+              "items", "live_writes", "live_wear", "replay_wear",
+              "dropped", "live_dropped", "peak_rss_mib");
+
+  {
+    CountMin alg(4, 2048, 2);
+    RunLiveCase("CountMin[CM05]", alg, items, flows);
+  }
+  {
+    FullSampleAndHoldOptions options;
+    options.universe = flows;
+    options.stream_length_hint = items;
+    options.p = 2.0;
+    options.eps = 0.3;
+    options.seed = 4;
+    FullSampleAndHold alg(options);
+    RunLiveCase("FullSampleAndHold", alg, items, flows);
+  }
+
+  std::printf("\nreading: replay_wear < live_wear wherever dropped > 0 — "
+              "the offline path's numbers are underestimates at this "
+              "scale.\nlive_dropped is always 0: the live sink never "
+              "drops. peak RSS stays flat at any stream length.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--live") == 0) {
+    uint64_t items = 100000000;  // 10^8
+    if (argc > 2) {
+      const long long parsed = std::atoll(argv[2]);
+      if (parsed > 0) items = static_cast<uint64_t>(parsed);
+    }
+    return RunLive(items);
+  }
+  return RunDefault();
 }

@@ -16,9 +16,15 @@
 // few MiB.
 //
 // Usage: bench_sharded_throughput [stream_length] [shard_list]
-// (defaults: 20000000 and "1,2,4,8"; CI's ThreadSanitizer job passes a
-// smaller length, and a mega-stream acceptance run can restrict the sweep,
-// e.g. `bench_sharded_throughput 100000000 8`).
+//                                 [checkpoint_every]
+// (defaults: 20000000, "1,2,4,8", and 0 = no checkpointing; CI's
+// ThreadSanitizer job passes a smaller length, and a mega-stream
+// acceptance run can restrict the sweep, e.g.
+// `bench_sharded_throughput 100000000 8`). A nonzero `checkpoint_every`
+// enables periodic durability checkpointing: each shard merges its live
+// replicas into NVM-backed snapshots every that-many items, and the ckpt
+// columns report the durability wear priced through the live WriteSink
+// pipeline.
 
 #include <cstdint>
 #include <cstdio>
@@ -73,6 +79,11 @@ int main(int argc, char** argv) {
     }
     if (sweep.empty()) sweep = {1, 2, 4, 8};
   }
+  uint64_t checkpoint_every = 0;
+  if (argc > 3) {
+    const long long parsed = std::atoll(argv[3]);
+    if (parsed > 0) checkpoint_every = static_cast<uint64_t>(parsed);
+  }
 
   bench::Banner(
       "E-shard bench_sharded_throughput",
@@ -84,14 +95,23 @@ int main(int argc, char** argv) {
               (unsigned long long)length, (unsigned long long)kFlows,
               static_cast<double>(length) * sizeof(Item) / (1024.0 * 1024.0));
 
-  std::printf("%2s %12s %10s %16s %16s %14s %10s %12s\n", "S", "items/sec",
-              "ingest_s", "state_changes", "word_writes", "merge_writes",
-              "merge_s", "peak_rss_mib");
+  if (checkpoint_every > 0) {
+    std::printf("checkpointing: every %llu items/shard onto a 64k-word NVM "
+                "snapshot device (durability wear in ckpt columns)\n\n",
+                (unsigned long long)checkpoint_every);
+  }
+
+  std::printf("%2s %12s %10s %16s %16s %14s %10s %6s %12s %12s\n", "S",
+              "items/sec", "ingest_s", "state_changes", "word_writes",
+              "merge_writes", "merge_s", "ckpts", "ckpt_writes",
+              "peak_rss_mib");
   bench::CsvHeader(RunReport::CsvHeader());
   for (size_t shards : sweep) {
     ShardedEngineOptions options;
     options.shards = shards;
     options.batch_items = 8192;
+    options.checkpoint_every_items = checkpoint_every;
+    options.checkpoint_nvm.config.num_cells = 1 << 16;
     ShardedEngine engine(options);
     for (const SketchFactory& f : Roster()) {
       const Status status = engine.AddSketch(f);
@@ -107,17 +127,22 @@ int main(int argc, char** argv) {
         engine.Run(ZipfSource(kFlows, 1.2, length, /*seed=*/2024));
 
     uint64_t state_changes = 0, word_writes = 0, merge_writes = 0;
+    uint64_t checkpoints = 0, checkpoint_writes = 0;
     for (const ShardedSketchReport& sk : report.sketches) {
       state_changes += sk.total.state_changes;
       word_writes += sk.total.word_writes;
       merge_writes += sk.merge.word_writes;
+      checkpoints += sk.checkpoints_taken;
+      checkpoint_writes += sk.checkpoint.word_writes;
     }
-    bench::Row("%2zu %12.0f %10.4f %16llu %16llu %14llu %10.4f %12.1f",
+    bench::Row("%2zu %12.0f %10.4f %16llu %16llu %14llu %10.4f %6llu "
+               "%12llu %12.1f",
                shards, report.items_per_second, report.ingest_seconds,
                (unsigned long long)state_changes,
                (unsigned long long)word_writes,
                (unsigned long long)merge_writes, report.merge_seconds,
-               bench::PeakRssMiB());
+               (unsigned long long)checkpoints,
+               (unsigned long long)checkpoint_writes, bench::PeakRssMiB());
     bench::CsvBlock(report.ToCsv("S=" + std::to_string(shards)));
   }
 

@@ -23,6 +23,15 @@ if grep -rnE '(\.|->)Consume\(' bench examples; then
   exit 1
 fi
 
+# Write-accounting gate: benches and examples must route write pricing
+# through the WriteSink pipeline (`set_write_sink` with a WriteLog /
+# LiveNvmSink / TeeSink). `set_write_log` was the log-only seam; it no
+# longer exists and must not creep back as a bypass.
+if grep -rnE 'set_write_log\(' bench examples; then
+  echo "check.sh: set_write_log() in bench/ or examples/ — attach sinks via set_write_sink() (WriteSink pipeline) instead" >&2
+  exit 1
+fi
+
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"

@@ -55,21 +55,34 @@ std::string RunReport::ToString() const {
         static_cast<unsigned long long>(s.peak_allocated_words),
         s.wall_seconds);
     out += line;
+    if (s.has_nvm) {
+      std::snprintf(
+          line, sizeof(line),
+          "  %-24s   nvm: writes=%-10llu max_wear=%-8llu "
+          "energy=%.3gnJ replays_to_eol=%.4g dropped=%llu\n",
+          "", static_cast<unsigned long long>(s.nvm.writes_replayed),
+          static_cast<unsigned long long>(s.nvm.max_cell_wear),
+          s.nvm.energy_nj, s.nvm.projected_stream_replays_to_failure,
+          static_cast<unsigned long long>(s.nvm.dropped_writes));
+      out += line;
+    }
   }
   return out;
 }
 
 std::string RunReport::CsvHeader() {
   return "label,sketch,updates,state_changes,word_writes,suppressed_writes,"
-         "word_reads,peak_words,wall_seconds";
+         "word_reads,peak_words,wall_seconds,nvm_writes,nvm_max_wear,"
+         "nvm_energy_nj,nvm_replays_to_eol,nvm_dropped";
 }
 
 std::string SketchReportCsvRow(const std::string& label,
                                const std::string& sketch,
                                const SketchRunReport& row) {
-  char line[320];
+  char line[448];
   std::snprintf(line, sizeof(line),
-                "%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%.6f",
+                "%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,%llu,%llu,%.6g,"
+                "%.6g,%llu",
                 label.c_str(), sketch.c_str(),
                 static_cast<unsigned long long>(row.updates),
                 static_cast<unsigned long long>(row.state_changes),
@@ -77,7 +90,16 @@ std::string SketchReportCsvRow(const std::string& label,
                 static_cast<unsigned long long>(row.suppressed_writes),
                 static_cast<unsigned long long>(row.word_reads),
                 static_cast<unsigned long long>(row.peak_allocated_words),
-                row.wall_seconds);
+                row.wall_seconds,
+                static_cast<unsigned long long>(
+                    row.has_nvm ? row.nvm.writes_replayed : 0),
+                static_cast<unsigned long long>(
+                    row.has_nvm ? row.nvm.max_cell_wear : 0),
+                row.has_nvm ? row.nvm.energy_nj : 0.0,
+                row.has_nvm ? row.nvm.projected_stream_replays_to_failure
+                            : 0.0,
+                static_cast<unsigned long long>(
+                    row.has_nvm ? row.nvm.dropped_writes : 0));
   return line;
 }
 
@@ -90,6 +112,15 @@ std::string RunReport::ToCsv(const std::string& label) const {
   return out;
 }
 
+StreamEngine::~StreamEngine() {
+  for (Entry& e : entries_) {
+    if (e.nvm != nullptr &&
+        e.sketch->mutable_accountant()->write_sink() == e.nvm.get()) {
+      e.sketch->mutable_accountant()->set_write_sink(nullptr);
+    }
+  }
+}
+
 Sketch* StreamEngine::Register(std::string name,
                                std::unique_ptr<Sketch> sketch) {
   Sketch* raw = sketch.get();
@@ -98,6 +129,26 @@ Sketch* StreamEngine::Register(std::string name,
 
 Sketch* StreamEngine::RegisterBorrowed(std::string name, Sketch* sketch) {
   return RegisterEntry(std::move(name), sketch, nullptr);
+}
+
+Status StreamEngine::AttachNvm(const std::string& name, const NvmSpec& spec) {
+  const Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  for (Entry& e : entries_) {
+    if (e.name != name) continue;
+    e.nvm = std::make_unique<LiveNvmSink>(spec);
+    e.sketch->mutable_accountant()->set_write_sink(e.nvm.get());
+    return Status::OK();
+  }
+  return Status::InvalidArgument("StreamEngine::AttachNvm: no sketch named '" +
+                                 name + "'");
+}
+
+const LiveNvmSink* StreamEngine::NvmSink(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.nvm.get();
+  }
+  return nullptr;
 }
 
 Sketch* StreamEngine::RegisterEntry(std::string name, Sketch* borrowed,
@@ -179,6 +230,11 @@ RunReport StreamEngine::Run(ItemSource& source) {
     s.name = entries_[i].name;
     s.peak_allocated_words = a.peak_allocated_words();
     s.wall_seconds = sketch_seconds[i];
+    if (entries_[i].nvm != nullptr) {
+      entries_[i].nvm->Flush();
+      s.has_nvm = true;
+      s.nvm = entries_[i].nvm->Report();
+    }
   }
 
   last_report_ = report;

@@ -8,7 +8,9 @@
 
 #include "api/item_source.h"
 #include "api/sketch.h"
+#include "common/status.h"
 #include "common/stream_types.h"
+#include "nvm/live_sink.h"
 
 namespace fewstate {
 
@@ -27,6 +29,13 @@ struct SketchRunReport {
   /// absolute figure, not a per-run delta (a peak is not differencable).
   uint64_t peak_allocated_words = 0;
   double wall_seconds = 0.0;
+  /// True iff a live NVM pipeline is attached to this sketch (or, in
+  /// sharded reports, priced this row's traffic).
+  bool has_nvm = false;
+  /// Cumulative state of the attached simulated device(s): wear accrues
+  /// across runs like a real device, so this is device state at report
+  /// time, not a per-run delta (the accountant columns carry the deltas).
+  NvmReplayReport nvm;
 };
 
 /// \brief Outcome of one `StreamEngine::Run`: one entry per registered
@@ -48,7 +57,9 @@ struct RunReport {
 
   /// \brief Column header shared by all report CSV emitters:
   /// `label,sketch,updates,state_changes,word_writes,suppressed_writes,
-  /// word_reads,peak_words,wall_seconds`.
+  /// word_reads,peak_words,wall_seconds,nvm_writes,nvm_max_wear,
+  /// nvm_energy_nj,nvm_replays_to_eol,nvm_dropped` (the nvm columns are 0
+  /// for rows without an attached device).
   static std::string CsvHeader();
 
   /// \brief One CSV row per sketch under `CsvHeader()` columns, each
@@ -95,6 +106,10 @@ struct AccountantSnapshot {
 class StreamEngine {
  public:
   StreamEngine() = default;
+  /// Detaches engine-owned sinks from the registered accountants, so a
+  /// borrowed sketch outliving the engine is not left pointing at a freed
+  /// `LiveNvmSink`.
+  ~StreamEngine();
   StreamEngine(const StreamEngine&) = delete;
   StreamEngine& operator=(const StreamEngine&) = delete;
 
@@ -104,6 +119,19 @@ class StreamEngine {
 
   /// \brief Registers a caller-owned sketch (must outlive the engine).
   Sketch* RegisterBorrowed(std::string name, Sketch* sketch);
+
+  /// \brief Attaches a live NVM pipeline to `name`'s accountant: every
+  /// state write is priced on a fresh simulated device *as it happens*
+  /// (O(device) memory — exact wear at any stream length, where a bounded
+  /// `WriteLog` would truncate). The engine owns the sink; subsequent
+  /// `RunReport` rows for this sketch carry the device's cumulative
+  /// wear/energy/lifetime. Replaces any sink previously attached to the
+  /// sketch's accountant. Fails on unknown names and invalid specs.
+  Status AttachNvm(const std::string& name, const NvmSpec& spec);
+
+  /// \brief The live sink attached to `name` (for direct device queries),
+  /// or nullptr if none.
+  const LiveNvmSink* NvmSink(const std::string& name) const;
 
   /// \brief Number of registered sketches.
   size_t size() const { return entries_.size(); }
@@ -138,6 +166,7 @@ class StreamEngine {
     std::string name;
     Sketch* sketch = nullptr;             // borrowed or == owned.get()
     std::unique_ptr<Sketch> owned;
+    std::unique_ptr<LiveNvmSink> nvm;     // live pipeline, when attached
   };
 
   Sketch* RegisterEntry(std::string name, Sketch* borrowed,

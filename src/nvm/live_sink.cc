@@ -1,0 +1,41 @@
+#include "nvm/live_sink.h"
+
+namespace fewstate {
+
+std::unique_ptr<WearLevelingPolicy> NvmSpec::MakePolicy() const {
+  switch (leveling) {
+    case Leveling::kRotating:
+      return MakeRotatingMapping(config.num_cells, rotate_period);
+    case Leveling::kHashed:
+      return MakeHashedMapping(config.num_cells, hash_seed);
+    case Leveling::kDirect:
+      break;
+  }
+  return MakeDirectMapping(config.num_cells);
+}
+
+const char* NvmSpec::leveling_name() const {
+  switch (leveling) {
+    case Leveling::kRotating:
+      return "rotate";
+    case Leveling::kHashed:
+      return "hashed";
+    case Leveling::kDirect:
+      break;
+  }
+  return "direct";
+}
+
+LiveNvmSink::LiveNvmSink(const NvmSpec& spec)
+    : spec_(spec),
+      policy_(spec.MakePolicy()),
+      device_(std::make_unique<NvmDevice>(spec.config)),
+      path_(policy_.get(), device_.get()) {}
+
+void LiveNvmSink::Reset() {
+  policy_ = spec_.MakePolicy();
+  device_ = std::make_unique<NvmDevice>(spec_.config);
+  path_ = NvmCostPath(policy_.get(), device_.get());
+}
+
+}  // namespace fewstate

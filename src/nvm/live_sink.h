@@ -1,0 +1,91 @@
+#ifndef FEWSTATE_NVM_LIVE_SINK_H_
+#define FEWSTATE_NVM_LIVE_SINK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "nvm/nvm_adapter.h"
+#include "nvm/nvm_device.h"
+#include "nvm/wear_leveling.h"
+#include "state/write_sink.h"
+
+namespace fewstate {
+
+/// \brief Value description of one simulated NVM attachment: device cost
+/// parameters plus the wear-leveling policy to put in front of it. Plain
+/// data, so engines can copy it into per-shard replicas (every replica
+/// mints its own device from the same spec).
+struct NvmSpec {
+  enum class Leveling {
+    kDirect,    ///< identity mapping — hot logical cells stay hot
+    kRotating,  ///< start-gap rotation [QGR11]
+    kHashed,    ///< per-write hash scatter [EGMP14]
+  };
+
+  NvmConfig config;
+  Leveling leveling = Leveling::kDirect;
+  uint64_t rotate_period = 64;  ///< kRotating: writes per rotation step
+  uint64_t hash_seed = 1;       ///< kHashed: scatter hash seed
+
+  /// \brief Mints the configured wear-leveling policy (sized to the
+  /// device).
+  std::unique_ptr<WearLevelingPolicy> MakePolicy() const;
+
+  /// \brief Policy label for reports ("direct" / "rotate" / "hashed").
+  const char* leveling_name() const;
+
+  /// \brief Validates the device parameters.
+  Status Validate() const { return config.Validate(); }
+};
+
+/// \brief The live end of the `WriteSink` pipeline: pushes each state
+/// write through a wear-leveling policy onto a simulated `NvmDevice` *as
+/// it happens*.
+///
+/// Where a `WriteLog` records O(stream) trace entries (and silently caps
+/// them), a live sink holds only the device — O(device) memory — so wear,
+/// energy and lifetime are exact on unbounded streams. It drives the same
+/// `NvmCostPath` costing core as offline replay, so on a stream that fits
+/// a log's capacity `Report()` is bitwise-identical to
+/// `ReplayOnNvm(log, ...)` with the same spec (provided the sink was
+/// attached for the algorithm's whole lifetime, as replay charges the
+/// accountant's total read count).
+class LiveNvmSink : public WriteSink {
+ public:
+  /// \brief Builds a fresh device + policy from `spec`. The spec must
+  /// validate (checked by callers that accept external specs).
+  explicit LiveNvmSink(const NvmSpec& spec);
+
+  void OnWrite(uint64_t epoch, uint64_t cell) override {
+    (void)epoch;  // wear does not depend on when, only on where
+    path_.Write(cell);
+  }
+
+  void OnBulkReads(uint64_t count) override { path_.BulkReads(count); }
+
+  /// \brief A live device is always consistent; nothing to flush.
+  void Flush() override {}
+
+  /// \brief Renews the attachment: a fresh device and policy, as if just
+  /// constructed (mirrors `WriteLog::Clear` on accountant reset).
+  void Reset() override;
+
+  /// \brief Costing outcome so far — same shape and, on bounded streams,
+  /// same bits as offline replay. `dropped_writes` is always 0: the live
+  /// path never drops.
+  NvmReplayReport Report() const { return path_.Report(); }
+
+  const NvmDevice& device() const { return *device_; }
+  const NvmSpec& spec() const { return spec_; }
+
+ private:
+  NvmSpec spec_;
+  std::unique_ptr<WearLevelingPolicy> policy_;
+  std::unique_ptr<NvmDevice> device_;
+  NvmCostPath path_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_NVM_LIVE_SINK_H_

@@ -1,34 +1,62 @@
 #include "nvm/nvm_adapter.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace fewstate {
 
-NvmReplayReport ReplayOnNvm(const WriteLog& log,
-                            const StateAccountant& accountant,
-                            WearLevelingPolicy* policy, NvmDevice* device) {
+NvmReplayReport NvmCostPath::Report(uint64_t dropped_writes) const {
   NvmReplayReport report;
-  for (const WriteRecord& record : log.records()) {
-    device->Write(policy->MapWrite(record.cell));
-    ++report.writes_replayed;
-  }
-  // Reads are aggregate (the accountant does not log addresses); they cost
-  // energy/latency but never wear cells.
-  device->ReadBulk(accountant.word_reads());
-  report.reads_replayed = accountant.word_reads();
-  report.max_cell_wear = device->max_cell_wear();
-  report.wear_imbalance = device->wear_imbalance();
-  report.energy_nj = device->energy_nj();
-  report.latency_ns = device->latency_ns();
-  if (device->max_cell_wear() == 0) {
+  report.writes_replayed = writes_;
+  report.reads_replayed = reads_;
+  report.max_cell_wear = device_->max_cell_wear();
+  report.wear_imbalance = device_->wear_imbalance();
+  report.energy_nj = device_->energy_nj();
+  report.latency_ns = device_->latency_ns();
+  report.dropped_writes = dropped_writes;
+  if (device_->max_cell_wear() == 0) {
     report.projected_stream_replays_to_failure =
         std::numeric_limits<double>::infinity();
   } else {
     report.projected_stream_replays_to_failure =
-        static_cast<double>(device->config().endurance) /
-        static_cast<double>(device->max_cell_wear());
+        static_cast<double>(device_->config().endurance) /
+        static_cast<double>(device_->max_cell_wear());
   }
   return report;
+}
+
+NvmReplayReport ReplayOnNvm(const WriteLog& log,
+                            const StateAccountant& accountant,
+                            WearLevelingPolicy* policy, NvmDevice* device) {
+  NvmCostPath path(policy, device);
+  for (const WriteRecord& record : log.records()) {
+    path.Write(record.cell);
+  }
+  // Reads are aggregate (the accountant does not log addresses); they cost
+  // energy/latency but never wear cells.
+  path.BulkReads(accountant.word_reads());
+  return path.Report(log.dropped());
+}
+
+NvmReplayReport AggregateNvmReports(
+    const std::vector<NvmReplayReport>& parts) {
+  NvmReplayReport out;
+  if (parts.empty()) return out;
+  out.projected_stream_replays_to_failure =
+      std::numeric_limits<double>::infinity();
+  for (const NvmReplayReport& part : parts) {
+    out.writes_replayed += part.writes_replayed;
+    out.reads_replayed += part.reads_replayed;
+    out.energy_nj += part.energy_nj;
+    out.latency_ns += part.latency_ns;
+    out.dropped_writes += part.dropped_writes;
+    out.max_cell_wear = std::max(out.max_cell_wear, part.max_cell_wear);
+    out.wear_imbalance = std::max(out.wear_imbalance, part.wear_imbalance);
+    out.projected_stream_replays_to_failure =
+        std::min(out.projected_stream_replays_to_failure,
+                 part.projected_stream_replays_to_failure);
+  }
+  return out;
 }
 
 }  // namespace fewstate

@@ -2,6 +2,7 @@
 #define FEWSTATE_NVM_NVM_ADAPTER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "nvm/nvm_device.h"
 #include "nvm/wear_leveling.h"
@@ -10,7 +11,10 @@
 
 namespace fewstate {
 
-/// \brief Outcome of replaying an algorithm's memory behaviour on NVM.
+/// \brief Outcome of pricing an algorithm's memory behaviour on NVM —
+/// produced identically by offline replay (`ReplayOnNvm`) and by the live
+/// streaming path (`LiveNvmSink::Report`); on streams within log capacity
+/// the two are bitwise-identical.
 struct NvmReplayReport {
   uint64_t writes_replayed = 0;
   uint64_t reads_replayed = 0;
@@ -21,17 +25,70 @@ struct NvmReplayReport {
   /// Projected number of times the whole stream could be re-run before the
   /// first cell wears out (infinite if no writes landed anywhere).
   double projected_stream_replays_to_failure = 0.0;
+  /// Writes the costing never saw: records a bounded `WriteLog` dropped
+  /// past capacity. Nonzero means every wear figure above is an
+  /// *underestimate* — switch to the live path (`LiveNvmSink`), which
+  /// never drops. Always 0 for live-path reports.
+  uint64_t dropped_writes = 0;
+
+  /// \brief True iff the costing under-reports because trace records were
+  /// dropped.
+  bool truncated() const { return dropped_writes > 0; }
 };
 
-/// \brief Replays a recorded `WriteLog` (plus aggregate read counts from
-/// the accountant) through a wear-leveling policy onto a simulated device.
+/// \brief The shared costing core: one write/read path from logical state
+/// traffic, through a wear-leveling policy, onto a simulated device —
+/// turning the paper's abstract state-change counts into the §1.1
+/// motivating quantities (energy, latency, device lifetime under
+/// asymmetric read/write costs).
 ///
-/// This turns the paper's abstract state-change counts into the §1.1
-/// motivating quantities: energy, latency and device lifetime under
-/// asymmetric read/write costs.
+/// Both pricing modes drive this same path, so they cannot diverge:
+/// `ReplayOnNvm` feeds it a recorded `WriteLog` after the fact;
+/// `LiveNvmSink` feeds it each write as the algorithm performs it.
+/// Policy and device are borrowed and must outlive the path.
+class NvmCostPath {
+ public:
+  NvmCostPath(WearLevelingPolicy* policy, NvmDevice* device)
+      : policy_(policy), device_(device) {}
+
+  /// \brief Prices one word write of logical `cell`.
+  void Write(uint64_t cell) {
+    device_->Write(policy_->MapWrite(cell));
+    ++writes_;
+  }
+
+  /// \brief Prices `count` aggregate reads (energy/latency; no wear).
+  void BulkReads(uint64_t count) {
+    device_->ReadBulk(count);
+    reads_ += count;
+  }
+
+  /// \brief Costing outcome so far. `dropped_writes` flags trace
+  /// truncation for the replay path (the live path passes 0).
+  NvmReplayReport Report(uint64_t dropped_writes = 0) const;
+
+ private:
+  WearLevelingPolicy* policy_;
+  NvmDevice* device_;
+  uint64_t writes_ = 0;
+  uint64_t reads_ = 0;
+};
+
+/// \brief Offline pricing: replays a recorded `WriteLog` (plus aggregate
+/// read counts from the accountant) through a wear-leveling policy onto a
+/// simulated device. If the log dropped records past capacity, the report
+/// surfaces the shortfall in `dropped_writes` — the wear figures are then
+/// underestimates and the live path should be used instead.
 NvmReplayReport ReplayOnNvm(const WriteLog& log,
                             const StateAccountant& accountant,
                             WearLevelingPolicy* policy, NvmDevice* device);
+
+/// \brief Folds per-device reports into one deployment-level view (e.g.
+/// one device per shard replica, plus checkpoint devices): traffic,
+/// energy, latency and drops add up; `max_cell_wear` and `wear_imbalance`
+/// take the worst device; lifetime takes the first device to fail.
+/// An empty input yields a default (all-zero) report.
+NvmReplayReport AggregateNvmReports(const std::vector<NvmReplayReport>& parts);
 
 }  // namespace fewstate
 

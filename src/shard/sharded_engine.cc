@@ -110,6 +110,28 @@ std::string ShardedRunReport::ToString() const {
         static_cast<unsigned long long>(s.merge.state_changes),
         static_cast<unsigned long long>(s.merge.word_writes));
     out += line;
+    if (s.total.has_nvm) {
+      std::snprintf(
+          line, sizeof(line),
+          "    nvm (all devices): writes=%-10llu max_wear=%-8llu "
+          "energy=%.3gnJ replays_to_eol=%.4g\n",
+          static_cast<unsigned long long>(s.total.nvm.writes_replayed),
+          static_cast<unsigned long long>(s.total.nvm.max_cell_wear),
+          s.total.nvm.energy_nj,
+          s.total.nvm.projected_stream_replays_to_failure);
+      out += line;
+    }
+    if (s.checkpoints_taken > 0) {
+      std::snprintf(
+          line, sizeof(line),
+          "    checkpoints=%-4llu snapshot_writes=%-10llu "
+          "ckpt_nvm_max_wear=%-8llu ckpt_replays_to_eol=%.4g\n",
+          static_cast<unsigned long long>(s.checkpoints_taken),
+          static_cast<unsigned long long>(s.checkpoint.word_writes),
+          static_cast<unsigned long long>(s.checkpoint.nvm.max_cell_wear),
+          s.checkpoint.nvm.projected_stream_replays_to_failure);
+      out += line;
+    }
     for (size_t shard = 0; shard < s.per_shard.size(); ++shard) {
       const SketchRunReport& p = s.per_shard[shard];
       std::snprintf(
@@ -136,6 +158,10 @@ std::string ShardedRunReport::ToCsv(const std::string& label) const {
     }
     out += SketchReportCsvRow(label, s.name + "[merge]", s.merge);
     out += '\n';
+    if (s.checkpoints_taken > 0) {
+      out += SketchReportCsvRow(label, s.name + "[checkpoint]", s.checkpoint);
+      out += '\n';
+    }
     out += SketchReportCsvRow(label, s.name + "[total]", s.total);
     out += '\n';
   }
@@ -147,9 +173,32 @@ ShardedEngine::ShardedEngine(const ShardedEngineOptions& options)
   if (options_.shards == 0) options_.shards = 1;
   if (options_.batch_items == 0) options_.batch_items = 1;
   if (options_.max_queued_batches == 0) options_.max_queued_batches = 1;
+  // An invalid checkpoint device is a programming error, caught at setup
+  // like StreamEngine's registration aborts — not mid-run.
+  if (options_.checkpoint_every_items > 0) {
+    const Status valid = options_.checkpoint_nvm.Validate();
+    if (!valid.ok()) {
+      std::fprintf(stderr,
+                   "ShardedEngine: invalid checkpoint_nvm spec: %s\n",
+                   valid.ToString().c_str());
+      std::abort();
+    }
+  }
 }
 
 Status ShardedEngine::AddSketch(SketchFactory factory) {
+  return AddSketchEntry(std::move(factory), /*has_nvm=*/false, NvmSpec());
+}
+
+Status ShardedEngine::AddSketch(SketchFactory factory,
+                                const NvmSpec& nvm_spec) {
+  const Status valid = nvm_spec.Validate();
+  if (!valid.ok()) return valid;
+  return AddSketchEntry(std::move(factory), /*has_nvm=*/true, nvm_spec);
+}
+
+Status ShardedEngine::AddSketchEntry(SketchFactory factory, bool has_nvm,
+                                     const NvmSpec& nvm_spec) {
   if (IndexOf(factory.name()) != entries_.size()) {
     return Status::InvalidArgument("ShardedEngine::AddSketch: duplicate name '" +
                                    factory.name() + "'");
@@ -167,7 +216,7 @@ Status ShardedEngine::AddSketch(SketchFactory factory) {
         "' is not mergeable; a multi-shard engine requires MergeableSketch "
         "implementations (run it in a shards=1 engine instead)");
   }
-  Entry entry{std::move(factory), mergeable};
+  Entry entry{std::move(factory), mergeable, has_nvm, nvm_spec};
   entries_.push_back(std::move(entry));
   return Status::OK();
 }
@@ -214,13 +263,46 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   report.shard_items.assign(num_shards, 0);
   report.sketches.resize(num_sketches);
 
+  const uint64_t ckpt_every = options_.checkpoint_every_items;
+
   // Fresh replicas: a sharded run consumes its replicas by merging them.
+  // Entries with an NVM spec get one live device per replica, attached
+  // before any update so the device prices the replica's whole lifetime.
   replicas_.clear();
   replicas_.resize(num_shards);
+  nvm_sinks_.clear();
+  nvm_sinks_.resize(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     replicas_[s].reserve(num_sketches);
-    for (const Entry& e : entries_) {
-      replicas_[s].push_back(e.factory.Make());
+    nvm_sinks_[s].resize(num_sketches);
+    for (size_t i = 0; i < num_sketches; ++i) {
+      replicas_[s].push_back(entries_[i].factory.Make());
+      if (entries_[i].has_nvm) {
+        nvm_sinks_[s][i] = std::make_unique<LiveNvmSink>(entries_[i].nvm_spec);
+        replicas_[s][i]->mutable_accountant()->set_write_sink(
+            nvm_sinks_[s][i].get());
+      }
+    }
+  }
+
+  // Checkpoint devices: one per (shard, mergeable sketch). The devices
+  // persist across a shard's checkpoints (re-snapshotting accrues wear);
+  // the per-snapshot accountant deltas accumulate in ckpt_acc. All of it
+  // is touched only by worker s until the join.
+  std::vector<std::vector<std::unique_ptr<LiveNvmSink>>> ckpt_sinks(
+      num_shards);
+  std::vector<std::vector<SketchRunReport>> ckpt_acc(
+      num_shards, std::vector<SketchRunReport>(num_sketches));
+  std::vector<std::vector<uint64_t>> ckpt_counts(
+      num_shards, std::vector<uint64_t>(num_sketches, 0));
+  if (ckpt_every > 0) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      ckpt_sinks[s].resize(num_sketches);
+      for (size_t i = 0; i < num_sketches; ++i) {
+        if (!entries_[i].mergeable) continue;  // nothing to snapshot
+        ckpt_sinks[s][i] =
+            std::make_unique<LiveNvmSink>(options_.checkpoint_nvm);
+      }
     }
   }
 
@@ -250,8 +332,11 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   std::vector<std::thread> workers;
   workers.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    workers.emplace_back([this, s, num_sketches, &queues, &busy] {
+    workers.emplace_back([this, s, num_sketches, ckpt_every, &queues, &busy,
+                          &ckpt_sinks, &ckpt_acc, &ckpt_counts] {
       Stream batch;
+      uint64_t processed = 0;
+      uint64_t next_checkpoint = ckpt_every;
       while (queues[s]->Pop(&batch)) {
         // Blocked like StreamEngine::Run: per (sketch, batch) timing keeps
         // clock overhead negligible and the per-sketch update order
@@ -261,6 +346,44 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
           const Clock::time_point t0 = Clock::now();
           for (Item item : batch) sketch->Update(item);
           busy[s][i] += Seconds(t0, Clock::now());
+        }
+        if (ckpt_every == 0) continue;
+        // Durability checkpoints fire at batch boundaries once the shard's
+        // item counter crosses each threshold — deterministic for a fixed
+        // source/seed/S, since the partitioner's batch splits are.
+        processed += batch.size();
+        while (processed >= next_checkpoint) {
+          for (size_t i = 0; i < num_sketches; ++i) {
+            if (ckpt_sinks[s][i] == nullptr) continue;
+            const Clock::time_point t0 = Clock::now();
+            // A checkpoint writes the replica's current state onto NVM: a
+            // fresh snapshot replica (same factory, so same logical cell
+            // layout — the same device region is rewritten every time)
+            // absorbs the live replica through the sink-priced merge path.
+            std::unique_ptr<Sketch> snapshot = entries_[i].factory.Make();
+            snapshot->mutable_accountant()->set_write_sink(
+                ckpt_sinks[s][i].get());
+            const Status status =
+                AsMergeable(snapshot.get())->MergeFrom(*replicas_[s][i]);
+            if (!status.ok()) {
+              std::fprintf(stderr,
+                           "ShardedEngine::Run: checkpoint of '%s' failed: "
+                           "%s\n",
+                           entries_[i].factory.name().c_str(),
+                           status.ToString().c_str());
+              std::abort();
+            }
+            const StateAccountant& a = snapshot->accountant();
+            SketchRunReport& acc = ckpt_acc[s][i];
+            acc.updates += a.updates();
+            acc.state_changes += a.state_changes();
+            acc.word_writes += a.word_writes();
+            acc.suppressed_writes += a.suppressed_writes();
+            acc.word_reads += a.word_reads();
+            acc.wall_seconds += Seconds(t0, Clock::now());
+            ++ckpt_counts[s][i];
+          }
+          next_checkpoint += ckpt_every;
         }
       }
     });
@@ -349,6 +472,50 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
     }
   }
   report.merge_seconds = Seconds(merge_start, Clock::now());
+
+  // Durability (checkpoint) traffic: fold each shard's snapshot deltas and
+  // checkpoint devices into one per-sketch view, and charge it to total —
+  // a deployed monitor pays for durability like it pays for updates.
+  if (ckpt_every > 0) {
+    for (size_t i = 0; i < num_sketches; ++i) {
+      ShardedSketchReport& sk = report.sketches[i];
+      sk.checkpoint.name = sk.name;
+      if (!entries_[i].mergeable) continue;
+      std::vector<NvmReplayReport> devices;
+      devices.reserve(num_shards);
+      for (size_t s = 0; s < num_shards; ++s) {
+        Accumulate(&sk.checkpoint, ckpt_acc[s][i]);
+        sk.checkpoints_taken += ckpt_counts[s][i];
+        ckpt_sinks[s][i]->Flush();  // end-of-phase barrier (sink contract)
+        devices.push_back(ckpt_sinks[s][i]->Report());
+      }
+      sk.checkpoint.has_nvm = true;
+      sk.checkpoint.nvm = AggregateNvmReports(devices);
+      Accumulate(&sk.total, sk.checkpoint);
+    }
+  }
+
+  // Live NVM capture: per-shard replica device state (cumulative —
+  // shard 0's device includes the merge phase's consolidation writes) and
+  // the deployment-level aggregate over replica + checkpoint devices.
+  for (size_t i = 0; i < num_sketches; ++i) {
+    ShardedSketchReport& sk = report.sketches[i];
+    std::vector<NvmReplayReport> devices;
+    if (entries_[i].has_nvm) {
+      devices.reserve(num_shards + 1);
+      for (size_t s = 0; s < num_shards; ++s) {
+        nvm_sinks_[s][i]->Flush();  // end-of-phase barrier (sink contract)
+        sk.per_shard[s].has_nvm = true;
+        sk.per_shard[s].nvm = nvm_sinks_[s][i]->Report();
+        devices.push_back(sk.per_shard[s].nvm);
+      }
+    }
+    if (sk.checkpoint.has_nvm) devices.push_back(sk.checkpoint.nvm);
+    if (!devices.empty()) {
+      sk.total.has_nvm = true;
+      sk.total.nvm = AggregateNvmReports(devices);
+    }
+  }
 
   for (ShardedSketchReport& sk : report.sketches) {
     sk.total.name = sk.name;

@@ -11,6 +11,7 @@
 #include "api/stream_engine.h"
 #include "common/status.h"
 #include "common/stream_types.h"
+#include "nvm/live_sink.h"
 #include "shard/sketch_factory.h"
 
 namespace fewstate {
@@ -31,6 +32,23 @@ struct ShardedEngineOptions {
   /// all occurrences of an item land on one shard — required for the
   /// counter-based summaries to merge meaningfully.
   uint64_t partition_seed = 0x5a4dedb175ULL;
+  /// Periodic durability checkpointing: each time a shard has ingested
+  /// another `checkpoint_every_items` items (checked at batch boundaries,
+  /// on the shard's own worker thread), it merges its live replica of
+  /// every mergeable sketch into a fresh NVM-backed snapshot replica, so
+  /// durability traffic is priced by the same `WriteSink` pipeline as
+  /// update wear. The snapshot devices persist across checkpoints within
+  /// one run — re-snapshotting the same state region accrues wear, which
+  /// is exactly the durability cost the report surfaces. 0 disables.
+  /// Non-mergeable entries (possible when shards == 1) are skipped.
+  /// Workers mint snapshot replicas concurrently, so registered makers
+  /// must be safe for concurrent `Make()` (see `SketchFactory`).
+  uint64_t checkpoint_every_items = 0;
+  /// Device spec for the checkpoint snapshots (one device per
+  /// (shard, sketch), minted fresh each `Run`). Validated at engine
+  /// construction when checkpointing is enabled; an invalid spec is a
+  /// fatal setup error (like invalid registration).
+  NvmSpec checkpoint_nvm;
 };
 
 /// \brief Per-sketch outcome of one `ShardedEngine::Run`.
@@ -46,6 +64,13 @@ struct ShardedSketchReport {
   bool mergeable = false;
   std::vector<SketchRunReport> per_shard;
   SketchRunReport merge;
+  /// Durability traffic: accountant deltas of the NVM-backed snapshot
+  /// replicas, summed over every checkpoint on every shard (its `nvm`
+  /// aggregates the checkpoint devices). Folded into `total` — a deployed
+  /// monitor pays for durability too.
+  SketchRunReport checkpoint;
+  /// Snapshot merges performed across all shards.
+  uint64_t checkpoints_taken = 0;
   SketchRunReport total;
 };
 
@@ -95,7 +120,13 @@ struct ShardedRunReport {
 ///  * after the stream ends and workers join, shards 1..S-1 are merged
 ///    into shard 0's replica through `MergeableSketch::MergeFrom`, with
 ///    merge-time writes accounted on the destination;
-///  * the `ShardedRunReport` carries per-shard and aggregated wear plus an
+///  * optionally (`checkpoint_every_items`), each worker periodically
+///    merges its live replica into a fresh NVM-backed snapshot replica, so
+///    durability traffic is priced through the same `WriteSink` pipeline
+///    as update wear — deterministic for a fixed source/seed/S, since each
+///    shard's item sequence and batch boundaries are deterministic;
+///  * the `ShardedRunReport` carries per-shard and aggregated wear (plus
+///    live NVM device state when a spec is attached) and an
 ///    ingest-throughput figure.
 ///
 /// With S > 1 every registered sketch must implement `MergeableSketch`
@@ -112,6 +143,13 @@ class ShardedEngine {
   /// (sample-and-hold structures report non-mergeability statically, by
   /// not deriving from `MergeableSketch`).
   Status AddSketch(SketchFactory factory);
+
+  /// \brief Registers a sketch spec with a live NVM attachment: each `Run`
+  /// mints one simulated device per shard replica from `nvm_spec` and
+  /// streams that replica's writes onto it as they happen (the merge
+  /// phase's consolidation writes land on shard 0's device). Reports gain
+  /// per-shard and aggregated device wear/energy/lifetime for this sketch.
+  Status AddSketch(SketchFactory factory, const NvmSpec& nvm_spec);
 
   size_t shards() const { return options_.shards; }
   size_t size() const { return entries_.size(); }
@@ -150,12 +188,22 @@ class ShardedEngine {
   struct Entry {
     SketchFactory factory;
     bool mergeable = false;
+    bool has_nvm = false;
+    NvmSpec nvm_spec;  // meaningful iff has_nvm
   };
 
   size_t IndexOf(const std::string& name) const;
+  Status AddSketchEntry(SketchFactory factory, bool has_nvm,
+                        const NvmSpec& nvm_spec);
 
   ShardedEngineOptions options_;
   std::vector<Entry> entries_;
+  // nvm_sinks_[shard][sketch]: live device behind each replica (nullptr
+  // when the entry has no NVM attachment). Rebuilt by each Run, kept so
+  // replica queries can inspect devices afterwards. Declared before
+  // replicas_ so sinks outlive the sketches whose accountants point at
+  // them, on destruction as well as during Run's rebuild.
+  std::vector<std::vector<std::unique_ptr<LiveNvmSink>>> nvm_sinks_;
   // replicas_[shard][sketch]; rebuilt by each Run and kept for queries.
   std::vector<std::vector<std::unique_ptr<Sketch>>> replicas_;
   ShardedRunReport last_report_;

@@ -19,6 +19,13 @@ namespace fewstate {
 /// rejects anything else). A factory captures that configuration once;
 /// every `Make()` call then constructs an exact replica, so the only thing
 /// distinguishing two replicas is the stream slice they are fed.
+///
+/// Thread-safety: when `ShardedEngine` checkpointing is enabled, shard
+/// workers mint snapshot replicas concurrently, so the maker must be safe
+/// for concurrent invocation — i.e. hold no mutable state. `Of<T>` makers
+/// (by-value captures, fresh construction per call) satisfy this; a
+/// stateful custom maker would race, on top of already breaking the
+/// identical-configuration contract.
 class SketchFactory {
  public:
   using Maker = std::function<std::unique_ptr<Sketch>()>;

@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "state/write_log.h"
+#include "state/write_sink.h"
 
 namespace fewstate {
 
@@ -36,12 +36,13 @@ class StateAccountant {
   }
 
   /// \brief Records a mutation of `words` words of algorithmic state
-  /// (value actually changed).
+  /// (value actually changed). Each word is streamed to the attached
+  /// `WriteSink` (if any) as it happens.
   void RecordWrite(uint64_t cell, uint64_t words = 1) {
     dirty_ = true;
     word_writes_ += words;
-    if (log_ != nullptr) {
-      for (uint64_t w = 0; w < words; ++w) log_->Append(epoch_, cell + w);
+    if (sink_ != nullptr) {
+      for (uint64_t w = 0; w < words; ++w) sink_->OnWrite(epoch_, cell + w);
     }
   }
 
@@ -51,8 +52,13 @@ class StateAccountant {
     suppressed_writes_ += words;
   }
 
-  /// \brief Records `words` words read from state.
-  void RecordRead(uint64_t words = 1) { word_reads_ += words; }
+  /// \brief Records `words` words read from state. Reads never wear cells;
+  /// the aggregate count is forwarded to the sink for energy/latency
+  /// pricing on asymmetric-cost memories.
+  void RecordRead(uint64_t words = 1) {
+    word_reads_ += words;
+    if (sink_ != nullptr) sink_->OnBulkReads(words);
+  }
 
   /// \brief Reserves `words` logical cells and returns the base address.
   /// Tracks peak allocation for the space experiments.
@@ -71,8 +77,14 @@ class StateAccountant {
     allocated_words_ = (words > allocated_words_) ? 0 : allocated_words_ - words;
   }
 
-  /// \brief Attaches (or detaches, with nullptr) a write trace.
-  void set_write_log(WriteLog* log) { log_ = log; }
+  /// \brief Attaches (or detaches, with nullptr) a write sink: every
+  /// subsequent state-write event streams through it — a recording
+  /// `WriteLog`, a `LiveNvmSink` pricing wear on a simulated device as it
+  /// happens, or a `TeeSink` composing several.
+  void set_write_sink(WriteSink* sink) { sink_ = sink; }
+
+  /// \brief The attached sink, or nullptr.
+  WriteSink* write_sink() const { return sink_; }
 
   /// \brief The paper's metric: number of updates t with sigma_t !=
   /// sigma_{t-1}. Includes the in-flight update if it has already written.
@@ -98,7 +110,8 @@ class StateAccountant {
   /// \brief High-water mark of allocated state, in words.
   uint64_t peak_allocated_words() const { return peak_allocated_words_; }
 
-  /// \brief Resets all counters (the attached write log is cleared too).
+  /// \brief Resets all counters (the attached sink is reset too, so a log
+  /// clears and a live device is renewed in step with the accountant).
   void Reset() {
     epoch_ = 0;
     dirty_ = false;
@@ -108,7 +121,7 @@ class StateAccountant {
     word_reads_ = 0;
     allocated_words_ = 0;
     peak_allocated_words_ = 0;
-    if (log_ != nullptr) log_->Clear();
+    if (sink_ != nullptr) sink_->Reset();
   }
 
  private:
@@ -120,7 +133,7 @@ class StateAccountant {
   uint64_t word_reads_ = 0;
   uint64_t allocated_words_ = 0;
   uint64_t peak_allocated_words_ = 0;
-  WriteLog* log_ = nullptr;
+  WriteSink* sink_ = nullptr;
 };
 
 }  // namespace fewstate

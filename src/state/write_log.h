@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "state/write_sink.h"
+
 namespace fewstate {
 
 /// \brief One recorded memory write: which logical cell was written during
@@ -17,19 +19,30 @@ struct WriteRecord {
   uint64_t cell = 0;
 };
 
-/// \brief Append-only trace of every state write an algorithm performs.
+/// \brief Append-only trace of every state write an algorithm performs —
+/// the recording `WriteSink`.
 ///
-/// Disabled by default (tracing every write of a long stream costs memory);
-/// enable it to replay an algorithm's write behaviour onto the NVM
-/// simulator (`nvm::NvmAdapter`). A configurable capacity guards against
-/// unbounded growth; once full, further writes are counted but not stored.
-class WriteLog {
+/// Attach one to a `StateAccountant` (via `set_write_sink`) to capture an
+/// algorithm's write behaviour for offline replay onto the NVM simulator
+/// (`ReplayOnNvm`). A configurable capacity guards against unbounded
+/// growth; once full, further writes are counted but not stored — replay
+/// surfaces the drop count, and for unbounded streams the non-recording
+/// `LiveNvmSink` prices wear exactly instead.
+class WriteLog : public WriteSink {
  public:
   /// \brief Creates a log holding at most `capacity` records.
   explicit WriteLog(uint64_t capacity = 1ULL << 22);
 
   /// \brief Appends a record (drops it, but counts, past capacity).
   void Append(uint64_t epoch, uint64_t cell);
+
+  /// \brief Sink hook: every state-write event is appended.
+  void OnWrite(uint64_t epoch, uint64_t cell) override {
+    Append(epoch, cell);
+  }
+
+  /// \brief Sink hook: a reset log is a cleared log.
+  void Reset() override { Clear(); }
 
   /// \brief Stored records, in write order.
   const std::vector<WriteRecord>& records() const { return records_; }

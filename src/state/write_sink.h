@@ -1,0 +1,80 @@
+#ifndef FEWSTATE_STATE_WRITE_SINK_H_
+#define FEWSTATE_STATE_WRITE_SINK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fewstate {
+
+/// \brief Streaming consumer of an algorithm's state-write events — the
+/// seam between state accounting and write pricing.
+///
+/// The paper's premise (§1.1) is that state *writes* are the expensive
+/// resource on NVM. A `StateAccountant` counts them; a `WriteSink` attached
+/// to the accountant *sees* them, one event per word written, in program
+/// order, as they happen. That inversion is what lets wear be priced on
+/// unbounded streams: a sink with O(device) state (`LiveNvmSink` in
+/// `src/nvm/live_sink.h`) replaces an O(stream) recorded trace
+/// (`WriteLog`, itself just one sink implementation now).
+///
+/// Contract:
+///  * `OnWrite(epoch, cell)` fires once per word whose value actually
+///    changed (suppressed writes never reach the sink — they are not state
+///    changes and cost no wear), in the exact order the algorithm wrote.
+///  * `OnBulkReads(count)` fires for aggregate read traffic (reads cost
+///    energy/latency on asymmetric memories but never wear cells, so only
+///    the count matters — no addresses).
+///  * `Flush()` is an end-of-run barrier for buffering sinks; callers that
+///    finish a measurement phase should invoke it before reading results.
+///  * `Reset()` discards sink state; `StateAccountant::Reset` forwards
+///    here so a reset accountant and its sink stay in step.
+///
+/// Sinks are not thread-safe; like the accountant they belong to exactly
+/// one algorithm instance (thread-confined in the sharded engine).
+class WriteSink {
+ public:
+  virtual ~WriteSink() = default;
+
+  /// \brief One word of state changed: `cell` was written during stream
+  /// update `epoch` (0 = initialisation).
+  virtual void OnWrite(uint64_t epoch, uint64_t cell) = 0;
+
+  /// \brief `count` words of state were read (aggregate; no addresses).
+  virtual void OnBulkReads(uint64_t count) { (void)count; }
+
+  /// \brief End-of-run barrier for buffering sinks.
+  virtual void Flush() {}
+
+  /// \brief Discards sink state (a log clears, a live device is renewed).
+  virtual void Reset() {}
+};
+
+/// \brief Fans every event out to several borrowed sinks, in order — e.g.
+/// a bounded `WriteLog` for trace capture *and* a `LiveNvmSink` for exact
+/// wear, in one pass. Sinks must outlive the tee.
+class TeeSink : public WriteSink {
+ public:
+  explicit TeeSink(std::vector<WriteSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void OnWrite(uint64_t epoch, uint64_t cell) override {
+    for (WriteSink* sink : sinks_) sink->OnWrite(epoch, cell);
+  }
+  void OnBulkReads(uint64_t count) override {
+    for (WriteSink* sink : sinks_) sink->OnBulkReads(count);
+  }
+  void Flush() override {
+    for (WriteSink* sink : sinks_) sink->Flush();
+  }
+  void Reset() override {
+    for (WriteSink* sink : sinks_) sink->Reset();
+  }
+
+ private:
+  std::vector<WriteSink*> sinks_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_STATE_WRITE_SINK_H_

@@ -123,7 +123,7 @@ TEST_F(IntegrationTest, NvmReplayAccountsEveryWordWrite) {
   options.eps = 0.4;
   options.seed = 8;
   FpEstimator alg(options);
-  alg.mutable_accountant()->set_write_log(&log);
+  alg.mutable_accountant()->set_write_sink(&log);
   alg.Consume(SharedStream());
 
   // Every recorded word write lands on the device (minus init epoch-0 and

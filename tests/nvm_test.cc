@@ -109,7 +109,7 @@ TEST(WearLeveling, HashedMappingSpreadsAHotCell) {
 TEST(NvmAdapter, ReplayMatchesLogAndAccountant) {
   StateAccountant accountant;
   WriteLog log(1000);
-  accountant.set_write_log(&log);
+  accountant.set_write_sink(&log);
   accountant.BeginUpdate();
   accountant.RecordWrite(1);
   accountant.RecordWrite(2);
@@ -144,7 +144,7 @@ TEST(NvmAdapter, WearLevelingExtendsLifetimeOfHotWorkloads) {
   // than rotate/hashed.
   StateAccountant accountant;
   WriteLog log(100000);
-  accountant.set_write_log(&log);
+  accountant.set_write_sink(&log);
   for (int i = 0; i < 1000; ++i) {
     accountant.BeginUpdate();
     accountant.RecordWrite(0);

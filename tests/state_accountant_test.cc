@@ -118,7 +118,7 @@ TEST(StateAccountant, ResetClearsEverything) {
 TEST(StateAccountant, WritesFlowToAttachedLog) {
   StateAccountant a;
   WriteLog log(100);
-  a.set_write_log(&log);
+  a.set_write_sink(&log);
   a.BeginUpdate();
   a.RecordWrite(7);
   a.BeginUpdate();
@@ -196,7 +196,7 @@ TEST(TrackedArray, SetGetAndRelease) {
 TEST(TrackedArray, DistinctCellAddresses) {
   StateAccountant a;
   WriteLog log(100);
-  a.set_write_log(&log);
+  a.set_write_sink(&log);
   TrackedArray<int> arr(&a, 4, 0);
   a.BeginUpdate();
   arr.Set(0, 1);
