@@ -16,15 +16,19 @@
 // few MiB.
 //
 // Usage: bench_sharded_throughput [stream_length] [shard_list]
-//                                 [checkpoint_every]
-// (defaults: 20000000, "1,2,4,8", and 0 = no checkpointing; CI's
+//                                 [checkpoint_every] [full|delta]
+// (defaults: 20000000, "1,2,4,8", 0 = no checkpointing, and full; CI's
 // ThreadSanitizer job passes a smaller length, and a mega-stream
 // acceptance run can restrict the sweep, e.g.
 // `bench_sharded_throughput 100000000 8`). A nonzero `checkpoint_every`
-// enables periodic durability checkpointing: each shard merges its live
-// replicas into NVM-backed snapshots every that-many items, and the ckpt
-// columns report the durability wear priced through the live WriteSink
-// pipeline.
+// enables periodic durability checkpointing: each shard serializes its
+// live replicas into NVM-backed snapshots every that-many items, and the
+// ckpt columns report the durability wear priced through the live
+// WriteSink pipeline. `delta` switches the snapshots to delta
+// checkpoints (`CheckpointPolicy::Snapshot::kDelta`): restorable sketches
+// re-serialize only the words their `DirtyTracker` saw change, splitting
+// the ckpt count into full/delta in the table and the `ckpt_full` /
+// `ckpt_delta` CSV columns.
 
 #include <cstdint>
 #include <cstdio>
@@ -37,6 +41,7 @@
 #include "baselines/space_saving.h"
 #include "baselines/stable_sketch.h"
 #include "bench_util.h"
+#include "recover/checkpoint_policy.h"
 #include "shard/sharded_engine.h"
 #include "shard/sketch_factory.h"
 #include "stream/generators.h"
@@ -52,9 +57,13 @@ std::vector<SketchFactory> Roster() {
       SketchFactory::Of<CountSketch>("count_sketch", size_t{5}, size_t{2048},
                                      uint64_t{22}),
       SketchFactory::Of<SpaceSaving>("space_saving", size_t{1024}),
+      // Morris growth 0.2: counters settle after the early phase, so the
+      // sketch is genuinely write-frugal — and its delta checkpoints
+      // (pass `delta` as the 4th arg) are nearly free.
       SketchFactory::Of<StableSketch>("stable_morris", 0.5, size_t{32},
                                       uint64_t{25},
-                                      StableSketch::CounterMode::kMorris),
+                                      StableSketch::CounterMode::kMorris,
+                                      0.2),
   };
 }
 
@@ -84,6 +93,10 @@ int main(int argc, char** argv) {
     const long long parsed = std::atoll(argv[3]);
     if (parsed > 0) checkpoint_every = static_cast<uint64_t>(parsed);
   }
+  CheckpointPolicy::Snapshot snapshot_mode = CheckpointPolicy::Snapshot::kFull;
+  if (argc > 4 && std::strcmp(argv[4], "delta") == 0) {
+    snapshot_mode = CheckpointPolicy::Snapshot::kDelta;
+  }
 
   bench::Banner(
       "E-shard bench_sharded_throughput",
@@ -96,21 +109,26 @@ int main(int argc, char** argv) {
               static_cast<double>(length) * sizeof(Item) / (1024.0 * 1024.0));
 
   if (checkpoint_every > 0) {
-    std::printf("checkpointing: every %llu items/shard onto a 64k-word NVM "
-                "snapshot device (durability wear in ckpt columns)\n\n",
-                (unsigned long long)checkpoint_every);
+    std::printf("checkpointing: every %llu items/shard (%s snapshots) onto a "
+                "64k-word NVM snapshot device (durability wear in ckpt "
+                "columns)\n\n",
+                (unsigned long long)checkpoint_every,
+                snapshot_mode == CheckpointPolicy::Snapshot::kDelta
+                    ? "delta"
+                    : "full");
   }
 
-  std::printf("%2s %12s %10s %16s %16s %14s %10s %6s %12s %12s\n", "S",
-              "items/sec", "ingest_s", "state_changes", "word_writes",
-              "merge_writes", "merge_s", "ckpts", "ckpt_writes",
-              "peak_rss_mib");
+  std::printf("%2s %12s %10s %16s %16s %14s %10s %6s %6s %6s %12s %12s\n",
+              "S", "items/sec", "ingest_s", "state_changes", "word_writes",
+              "merge_writes", "merge_s", "ckpts", "full", "delta",
+              "ckpt_writes", "peak_rss_mib");
   bench::CsvHeader(RunReport::CsvHeader());
   for (size_t shards : sweep) {
     ShardedEngineOptions options;
     options.shards = shards;
     options.batch_items = 8192;
-    options.checkpoint_every_items = checkpoint_every;
+    options.checkpoint_policy =
+        CheckpointPolicy::EveryItems(checkpoint_every, snapshot_mode);
     options.checkpoint_nvm.config.num_cells = 1 << 16;
     ShardedEngine engine(options);
     for (const SketchFactory& f : Roster()) {
@@ -127,21 +145,26 @@ int main(int argc, char** argv) {
         engine.Run(ZipfSource(kFlows, 1.2, length, /*seed=*/2024));
 
     uint64_t state_changes = 0, word_writes = 0, merge_writes = 0;
-    uint64_t checkpoints = 0, checkpoint_writes = 0;
+    uint64_t checkpoints = 0, full_ckpts = 0, delta_ckpts = 0;
+    uint64_t checkpoint_writes = 0;
     for (const ShardedSketchReport& sk : report.sketches) {
       state_changes += sk.total.state_changes;
       word_writes += sk.total.word_writes;
       merge_writes += sk.merge.word_writes;
       checkpoints += sk.checkpoints_taken;
+      full_ckpts += sk.checkpoint.full_checkpoints;
+      delta_ckpts += sk.checkpoint.delta_checkpoints;
       checkpoint_writes += sk.checkpoint.word_writes;
     }
     bench::Row("%2zu %12.0f %10.4f %16llu %16llu %14llu %10.4f %6llu "
-               "%12llu %12.1f",
+               "%6llu %6llu %12llu %12.1f",
                shards, report.items_per_second, report.ingest_seconds,
                (unsigned long long)state_changes,
                (unsigned long long)word_writes,
                (unsigned long long)merge_writes, report.merge_seconds,
                (unsigned long long)checkpoints,
+               (unsigned long long)full_ckpts,
+               (unsigned long long)delta_ckpts,
                (unsigned long long)checkpoint_writes, bench::PeakRssMiB());
     bench::CsvBlock(report.ToCsv("S=" + std::to_string(shards)));
   }

@@ -1,0 +1,157 @@
+// The durability loop, end to end: a sharded monitor ingests a captured
+// trace with wear-aware delta checkpointing, one shard "crashes", and
+// `RecoverReplica` rebuilds it from its last delta checkpoint plus the
+// trace tail — bitwise-identical to the replica that never crashed, with
+// every phase of the rebuild priced on simulated NVM.
+//
+// The paper's angle: durability traffic is state writes too. A blind
+// every-N schedule with full snapshots pays wear proportional to state
+// *size*; the `CheckpointPolicy` + `DirtyTracker` machinery pays wear
+// proportional to state *change*, so the write-frugal Morris-mode sketch
+// checkpoints almost for free — and recovers from a 64-word snapshot.
+
+#include <cstdio>
+#include <string>
+
+#include "api/item_source.h"
+#include "baselines/count_min.h"
+#include "baselines/stable_sketch.h"
+#include "nvm/live_sink.h"
+#include "recover/checkpoint_policy.h"
+#include "recover/recovery.h"
+#include "shard/sharded_engine.h"
+#include "shard/sketch_factory.h"
+#include "stream/generators.h"
+
+using namespace fewstate;
+
+namespace {
+
+NvmSpec PcmSpec() {
+  NvmSpec spec;
+  spec.config.num_cells = 1 << 14;
+  spec.config.endurance = 10000000;
+  return spec;
+}
+
+std::vector<SketchFactory> Roster() {
+  return {
+      SketchFactory::Of<CountMin>("count_min", size_t{4}, size_t{1024},
+                                  uint64_t{7}, false),
+      SketchFactory::Of<StableSketch>("stable_morris", 0.5, size_t{32},
+                                      uint64_t{31},
+                                      StableSketch::CounterMode::kMorris,
+                                      0.2),
+  };
+}
+
+}  // namespace
+
+int main() {
+  // 1. Capture a workload to a binary trace (the monitor's write-ahead
+  // record of what it ingested — what makes replay-based recovery
+  // possible at all).
+  const uint64_t items = 300000;
+  const Stream stream = ZipfStream(20000, 1.2, items, /*seed=*/77);
+  const std::string trace_path = "/tmp/fewstate_crash_recovery.u64";
+  if (!WriteTrace(trace_path, stream).ok()) {
+    std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+    return 1;
+  }
+
+  // 2. A 2-shard monitor with wear-aware delta checkpointing: snapshots
+  // fire when a replica has accumulated another 800 word writes (so the
+  // write-frugal sketch checkpoints rarely), and each checkpoint
+  // serializes only the words that changed.
+  ShardedEngineOptions options;
+  options.shards = 2;
+  options.checkpoint_policy = CheckpointPolicy::WriteBudget(800);
+  options.checkpoint_nvm = PcmSpec();
+  ShardedEngine engine(options);
+  for (const SketchFactory& factory : Roster()) {
+    if (!engine.AddSketch(factory).ok()) return 1;
+  }
+  {
+    FileSource trace(trace_path);
+    engine.Run(trace);
+  }
+  const ShardedRunReport& report = engine.last_report();
+  std::printf("=== run: %llu items, 2 shards, WriteBudget(800) delta "
+              "checkpoints ===\n",
+              (unsigned long long)report.items_ingested);
+  for (const ShardedSketchReport& sk : report.sketches) {
+    std::printf("%-14s ckpts=%llu (full=%llu delta=%llu) ckpt_writes=%llu\n",
+                sk.name.c_str(), (unsigned long long)sk.checkpoints_taken,
+                (unsigned long long)sk.checkpoint.full_checkpoints,
+                (unsigned long long)sk.checkpoint.delta_checkpoints,
+                (unsigned long long)sk.checkpoint.word_writes);
+  }
+
+  // 3. Shard 1 crashes. Everything in DRAM is gone; what survives is the
+  // checkpoint region (the snapshot) and the trace. Rebuild the replica:
+  // read the snapshot (priced as bulk reads on the checkpoint device),
+  // then replay the shard's items past the checkpoint cut.
+  const size_t crashed_shard = 1;
+  std::printf("\n=== shard %zu crashes; recovering ===\n", crashed_shard);
+  for (const SketchFactory& factory : Roster()) {
+    const ShardedSketchReport* sk = report.Find(factory.name());
+    const Sketch* snapshot = engine.Snapshot(crashed_shard, factory.name());
+    if (sk == nullptr || snapshot == nullptr) {
+      std::printf("%-14s never checkpointed on shard %zu (write budget "
+                  "not reached) — full replay would be needed\n",
+                  factory.name().c_str(), crashed_shard);
+      continue;
+    }
+    const uint64_t cut = sk->last_checkpoint_items[crashed_shard];
+
+    // The crashed shard's substream past the cut, re-derived from the
+    // trace with the engine's own partition function.
+    Stream tail;
+    uint64_t seen = 0;
+    for (Item item : stream) {
+      if (engine.ShardOf(item) != crashed_shard) continue;
+      if (++seen > cut) tail.push_back(item);
+    }
+
+    RecoveryOptions recovery;
+    recovery.price_replica_nvm = true;
+    recovery.replica_nvm = PcmSpec();
+    recovery.checkpoint_sink = engine.CheckpointSink(crashed_shard,
+                                                     factory.name());
+    RecoveredReplica recovered;
+    if (!RecoverReplica(factory, *snapshot, VectorSource(tail), recovery,
+                        &recovered)
+             .ok()) {
+      return 1;
+    }
+    std::printf("%-14s cut=%llu tail=%llu snapshot_words=%llu "
+                "restore_writes=%llu replay_writes=%llu\n",
+                factory.name().c_str(), (unsigned long long)cut,
+                (unsigned long long)recovered.report.tail_items,
+                (unsigned long long)recovered.report.snapshot_words,
+                (unsigned long long)recovered.report.restore.word_writes,
+                (unsigned long long)recovered.report.replay.word_writes);
+
+    // 4. Prove it: the rebuilt replica answers exactly like the replica
+    // that never crashed.
+    const Sketch* uninterrupted =
+        engine.Replica(crashed_shard, factory.name());
+    bool identical = true;
+    for (Item item = 0; item < 20000 && identical; ++item) {
+      identical = recovered.sketch->EstimateFrequency(item) ==
+                  uninterrupted->EstimateFrequency(item);
+    }
+    std::printf("%-14s recovered ≡ uninterrupted: %s\n",
+                factory.name().c_str(), identical ? "yes (bitwise)" : "NO");
+    if (!identical) return 1;
+  }
+
+  std::printf(
+      "\nreading: the write-frugal sketch checkpoints rarely (the wear\n"
+      "budget barely fills) yet recovers from a tiny snapshot; the\n"
+      "always-write baseline pays durability wear constantly. Recovery\n"
+      "itself is priced: snapshot reads on the checkpoint device, rebuild\n"
+      "writes on the replacement replica's device.\n");
+  std::remove(trace_path.c_str());
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include "baselines/count_min.h"
 #include "core/full_sample_and_hold.h"
 #include "nvm/live_sink.h"
+#include "recover/checkpoint_policy.h"
 #include "shard/sharded_engine.h"
 #include "shard/sketch_factory.h"
 #include "stream/generators.h"
@@ -100,13 +101,16 @@ int main() {
   // ---- Durability wear: a sharded deployment that checkpoints. --------
   //
   // Two shards ingest the same workload; every 50k items per shard, the
-  // live replica is merged into a fresh NVM-backed snapshot sketch, so
+  // live replica is serialized into an NVM-backed snapshot sketch, so
   // checkpoint traffic wears a snapshot device exactly like update
   // traffic wears the update devices — one pipeline prices both.
+  // (`CheckpointPolicy` also offers wear-budget/dirty-set triggers and
+  // delta snapshots; examples/crash_recovery.cpp closes the loop with
+  // priced recovery from these checkpoints.)
   std::printf("\n=== sharded run with durability checkpointing ===\n");
   ShardedEngineOptions options;
   options.shards = 2;
-  options.checkpoint_every_items = 50000;
+  options.checkpoint_policy = CheckpointPolicy::EveryItems(50000);
   options.checkpoint_nvm = PcmSpec(NvmSpec::Leveling::kDirect);
   ShardedEngine engine(options);
   if (!engine

@@ -32,6 +32,43 @@ if grep -rnE 'set_write_log\(' bench examples; then
   exit 1
 fi
 
+# Docs gate 1: every src/ subsystem directory must appear in the README
+# and docs/ARCHITECTURE.md subsystem tables — a new subsystem lands with
+# its documentation or not at all.
+for dir in src/*/; do
+  subsystem="${dir%/}"
+  for doc in README.md docs/ARCHITECTURE.md; do
+    if ! grep -q "$subsystem" "$doc"; then
+      echo "check.sh: $subsystem missing from $doc — add it to the subsystem table" >&2
+      exit 1
+    fi
+  done
+done
+
+# Docs gate 2: Doxygen-contract lint (no doxygen binary needed). Every
+# exported class/struct in the public API headers must carry a `///`
+# contract comment immediately above it (a template<> line may sit in
+# between). Forward declarations (ending in ';') are exempt.
+doc_lint_failed=0
+for header in src/api/*.h src/state/*.h src/nvm/*.h src/shard/*.h src/recover/*.h; do
+  bad=$(awk '
+    /^(class|struct) [A-Z]/ && $0 !~ /;[[:space:]]*$/ {
+      if (p1 !~ /^\/\/\// && !(p1 ~ /^template/ && p2 ~ /^\/\/\//)) {
+        print FILENAME ":" FNR ": " $0
+      }
+    }
+    { p2 = p1; p1 = $0 }
+  ' "$header")
+  if [ -n "$bad" ]; then
+    echo "check.sh: exported type without a /// contract comment:" >&2
+    echo "$bad" >&2
+    doc_lint_failed=1
+  fi
+done
+if [ "$doc_lint_failed" -ne 0 ]; then
+  exit 1
+fi
+
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"

@@ -86,7 +86,10 @@ class VectorSource : public ItemSource {
   explicit VectorSource(Stream&& stream)
       : owned_(std::move(stream)), view_(nullptr) {}
 
+  /// \brief Copies the next `cap` items out of the vector, no allocation.
   size_t NextBatch(Item* out, size_t cap) override;
+
+  /// \brief Exact: items remaining ahead of the cursor.
   std::optional<uint64_t> SizeHint() const override;
 
  private:
@@ -104,13 +107,17 @@ class VectorSource : public ItemSource {
 /// build on this). The stand-in for a live feed in examples and benches.
 class GeneratorSource : public ItemSource {
  public:
+  /// \brief Stateful draw function producing the next item each call.
   using DrawFn = std::function<Item()>;
 
   /// \brief Emits `draw()` exactly `length` times.
   GeneratorSource(uint64_t length, DrawFn draw)
       : remaining_(length), draw_(std::move(draw)) {}
 
+  /// \brief Fills the batch by calling `draw()` up to `cap` times.
   size_t NextBatch(Item* out, size_t cap) override;
+
+  /// \brief Exact: draws remaining.
   std::optional<uint64_t> SizeHint() const override { return remaining_; }
 
  private:
@@ -123,6 +130,8 @@ class GeneratorSource : public ItemSource {
 /// Write traces with `WriteTrace` below.
 class FileSource : public ItemSource {
  public:
+  /// \brief Opens the trace at `path`; check `ok()` before relying on
+  /// any items.
   explicit FileSource(const std::string& path);
   ~FileSource() override;
   FileSource(const FileSource&) = delete;
@@ -132,7 +141,11 @@ class FileSource : public ItemSource {
   /// permanently at end-of-stream).
   bool ok() const { return file_ != nullptr; }
 
+  /// \brief Reads up to `cap` u64 records from the file.
   size_t NextBatch(Item* out, size_t cap) override;
+
+  /// \brief Records remaining when the file is seekable; nullopt for
+  /// pipes/fifos (unsized, not "0 left").
   std::optional<uint64_t> SizeHint() const override;
 
  private:
@@ -152,10 +165,16 @@ Status WriteTrace(const std::string& path, const Stream& stream);
 /// generator). Sources must outlive this adapter.
 class ConcatSource : public ItemSource {
  public:
+  /// \brief Borrows `sources`; they drain back to back, in order.
   explicit ConcatSource(std::vector<ItemSource*> sources)
       : sources_(std::move(sources)) {}
 
+  /// \brief Pulls from the current segment, advancing past exhausted
+  /// ones.
   size_t NextBatch(Item* out, size_t cap) override;
+
+  /// \brief Sum of the segments' hints; nullopt if any segment is
+  /// unsized.
   std::optional<uint64_t> SizeHint() const override;
 
  private:
@@ -169,9 +188,13 @@ class ConcatSource : public ItemSource {
 /// keep going. Sources must outlive this adapter.
 class InterleaveSource : public ItemSource {
  public:
+  /// \brief Borrows `sources`; `chunk_items` from each in rotation.
   InterleaveSource(std::vector<ItemSource*> sources, size_t chunk_items = 1);
 
+  /// \brief Pulls the rotation's next chunk(s), dropping ended sources.
   size_t NextBatch(Item* out, size_t cap) override;
+
+  /// \brief Sum of the live sources' hints; nullopt if any is unsized.
   std::optional<uint64_t> SizeHint() const override;
 
  private:
@@ -187,11 +210,14 @@ class InterleaveSource : public ItemSource {
 /// sharded regression tests pin that down.
 class UnsizedSource : public ItemSource {
  public:
+  /// \brief Borrows `inner`; items pass through untouched.
   explicit UnsizedSource(ItemSource* inner) : inner_(inner) {}
 
+  /// \brief Forwards to the inner source.
   size_t NextBatch(Item* out, size_t cap) override {
     return inner_->NextBatch(out, cap);
   }
+  /// \brief Always nullopt — the decorator's whole point.
   std::optional<uint64_t> SizeHint() const override { return std::nullopt; }
 
  private:

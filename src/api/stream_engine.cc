@@ -73,16 +73,16 @@ std::string RunReport::ToString() const {
 std::string RunReport::CsvHeader() {
   return "label,sketch,updates,state_changes,word_writes,suppressed_writes,"
          "word_reads,peak_words,wall_seconds,nvm_writes,nvm_max_wear,"
-         "nvm_energy_nj,nvm_replays_to_eol,nvm_dropped";
+         "nvm_energy_nj,nvm_replays_to_eol,nvm_dropped,ckpt_full,ckpt_delta";
 }
 
 std::string SketchReportCsvRow(const std::string& label,
                                const std::string& sketch,
                                const SketchRunReport& row) {
-  char line[448];
+  char line[512];
   std::snprintf(line, sizeof(line),
                 "%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,%llu,%llu,%.6g,"
-                "%.6g,%llu",
+                "%.6g,%llu,%llu,%llu",
                 label.c_str(), sketch.c_str(),
                 static_cast<unsigned long long>(row.updates),
                 static_cast<unsigned long long>(row.state_changes),
@@ -99,7 +99,9 @@ std::string SketchReportCsvRow(const std::string& label,
                 row.has_nvm ? row.nvm.projected_stream_replays_to_failure
                             : 0.0,
                 static_cast<unsigned long long>(
-                    row.has_nvm ? row.nvm.dropped_writes : 0));
+                    row.has_nvm ? row.nvm.dropped_writes : 0),
+                static_cast<unsigned long long>(row.full_checkpoints),
+                static_cast<unsigned long long>(row.delta_checkpoints));
   return line;
 }
 

@@ -36,6 +36,11 @@ struct SketchRunReport {
   /// across runs like a real device, so this is device state at report
   /// time, not a per-run delta (the accountant columns carry the deltas).
   NvmReplayReport nvm;
+  /// Checkpoint/recovery rows only (0 elsewhere): snapshots serialized in
+  /// full (whole state rewritten) vs. as deltas (only words changed since
+  /// the previous checkpoint). Their sum is the row's checkpoint count.
+  uint64_t full_checkpoints = 0;
+  uint64_t delta_checkpoints = 0;
 };
 
 /// \brief Outcome of one `StreamEngine::Run`: one entry per registered
@@ -58,8 +63,9 @@ struct RunReport {
   /// \brief Column header shared by all report CSV emitters:
   /// `label,sketch,updates,state_changes,word_writes,suppressed_writes,
   /// word_reads,peak_words,wall_seconds,nvm_writes,nvm_max_wear,
-  /// nvm_energy_nj,nvm_replays_to_eol,nvm_dropped` (the nvm columns are 0
-  /// for rows without an attached device).
+  /// nvm_energy_nj,nvm_replays_to_eol,nvm_dropped,ckpt_full,ckpt_delta`
+  /// (the nvm columns are 0 for rows without an attached device; the ckpt
+  /// columns are 0 outside `[checkpoint]` rows).
   static std::string CsvHeader();
 
   /// \brief One CSV row per sketch under `CsvHeader()` columns, each

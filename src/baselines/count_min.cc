@@ -61,6 +61,37 @@ Status CountMin::MergeFrom(const Sketch& other) {
   return Status::OK();
 }
 
+Status CountMin::RestoreFrom(const Sketch& source) {
+  Status status;
+  const auto* src = RestoreSourceAs<CountMin>(this, source, &status);
+  if (src == nullptr) return status;
+  if (src->depth_ != depth_ || src->width_ != width_ || src->seed_ != seed_ ||
+      src->conservative_ != conservative_) {
+    return Status::InvalidArgument(
+        "CountMin::RestoreFrom: incompatible configuration (depth, width, "
+        "seed and update mode must match)");
+  }
+  // One restore is one accounting epoch.
+  accountant_.BeginUpdate();
+  CopyTrackedArray(table_.get(), *src->table_);
+  return Status::OK();
+}
+
+Status CountMin::RestoreDirty(const Sketch& source, const DirtyTracker& dirty) {
+  Status status;
+  const auto* src = RestoreSourceAs<CountMin>(this, source, &status);
+  if (src == nullptr) return status;
+  if (src->depth_ != depth_ || src->width_ != width_ || src->seed_ != seed_ ||
+      src->conservative_ != conservative_) {
+    return Status::InvalidArgument(
+        "CountMin::RestoreDirty: incompatible configuration (depth, width, "
+        "seed and update mode must match)");
+  }
+  accountant_.BeginUpdate();
+  CopyTrackedArrayCells(table_.get(), *src->table_, dirty.SortedCells());
+  return Status::OK();
+}
+
 double CountMin::EstimateFrequency(Item item) const {
   uint64_t min_count = std::numeric_limits<uint64_t>::max();
   for (size_t d = 0; d < depth_; ++d) {

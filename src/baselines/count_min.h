@@ -10,6 +10,7 @@
 #include "common/hashing.h"
 #include "common/status.h"
 #include "common/stream_types.h"
+#include "recover/restorable.h"
 #include "state/state_accountant.h"
 #include "state/tracked.h"
 
@@ -22,7 +23,7 @@ namespace fewstate {
 /// so every stream update is a state change (Theta(m) under the paper's
 /// metric). Width w gives additive error 2m/w with probability
 /// 1 - 2^{-depth} (or m/w under conservative update).
-class CountMin : public MergeableSketch {
+class CountMin : public MergeableSketch, public RestorableSketch {
  public:
   /// \brief Creates a sketch of `depth` rows by `width` counters.
   ///
@@ -43,6 +44,16 @@ class CountMin : public MergeableSketch {
   /// still a valid overestimate but no longer bitwise-identical to a
   /// single-pass run.
   Status MergeFrom(const Sketch& other) override;
+
+  /// \brief Overwrites the table with another CountMin's (same depth,
+  /// width, seed, update mode), pricing only words that differ — the
+  /// checkpoint/restore contract. Exact in both update modes (the state is
+  /// just the counter grid).
+  Status RestoreFrom(const Sketch& source) override;
+
+  /// \brief Delta restore: copies only the dirty cells (O(dirty) scan).
+  Status RestoreDirty(const Sketch& source,
+                      const DirtyTracker& dirty) override;
 
   /// \brief Overestimate of the frequency of `item` (min over rows).
   double EstimateFrequency(Item item) const override;

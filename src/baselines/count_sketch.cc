@@ -43,6 +43,35 @@ Status CountSketch::MergeFrom(const Sketch& other) {
   return Status::OK();
 }
 
+Status CountSketch::RestoreFrom(const Sketch& source) {
+  Status status;
+  const auto* src = RestoreSourceAs<CountSketch>(this, source, &status);
+  if (src == nullptr) return status;
+  if (src->depth_ != depth_ || src->width_ != width_ || src->seed_ != seed_) {
+    return Status::InvalidArgument(
+        "CountSketch::RestoreFrom: incompatible configuration (depth, width "
+        "and seed must match)");
+  }
+  accountant_.BeginUpdate();
+  CopyTrackedArray(table_.get(), *src->table_);
+  return Status::OK();
+}
+
+Status CountSketch::RestoreDirty(const Sketch& source,
+                                 const DirtyTracker& dirty) {
+  Status status;
+  const auto* src = RestoreSourceAs<CountSketch>(this, source, &status);
+  if (src == nullptr) return status;
+  if (src->depth_ != depth_ || src->width_ != width_ || src->seed_ != seed_) {
+    return Status::InvalidArgument(
+        "CountSketch::RestoreDirty: incompatible configuration (depth, width "
+        "and seed must match)");
+  }
+  accountant_.BeginUpdate();
+  CopyTrackedArrayCells(table_.get(), *src->table_, dirty.SortedCells());
+  return Status::OK();
+}
+
 double CountSketch::EstimateFrequency(Item item) const {
   std::vector<double> row_estimates(depth_);
   for (size_t d = 0; d < depth_; ++d) {

@@ -10,6 +10,7 @@
 #include "common/hashing.h"
 #include "common/status.h"
 #include "common/stream_types.h"
+#include "recover/restorable.h"
 #include "state/state_accountant.h"
 #include "state/tracked.h"
 
@@ -22,7 +23,7 @@ namespace fewstate {
 /// (always a state change => Theta(m) state changes). The frequency
 /// estimate is the median over rows of sign * counter, with additive error
 /// O(||f||_2 / sqrt(width)) per row.
-class CountSketch : public MergeableSketch {
+class CountSketch : public MergeableSketch, public RestorableSketch {
  public:
   CountSketch(size_t depth, size_t width, uint64_t seed);
 
@@ -33,6 +34,15 @@ class CountSketch : public MergeableSketch {
   /// width, seed) is exactly equivalent to one sketch over the
   /// concatenated streams.
   Status MergeFrom(const Sketch& other) override;
+
+  /// \brief Overwrites the table with another CountSketch's (same depth,
+  /// width, seed), pricing only words that differ — the
+  /// checkpoint/restore contract.
+  Status RestoreFrom(const Sketch& source) override;
+
+  /// \brief Delta restore: copies only the dirty cells (O(dirty) scan).
+  Status RestoreDirty(const Sketch& source,
+                      const DirtyTracker& dirty) override;
 
   /// \brief Median-of-rows estimate of the frequency of `item`.
   double EstimateFrequency(Item item) const override;

@@ -78,6 +78,40 @@ Status MisraGries::MergeFrom(const Sketch& other) {
   return Status::OK();
 }
 
+Status MisraGries::RestoreFrom(const Sketch& source) {
+  Status status;
+  const auto* src = RestoreSourceAs<MisraGries>(this, source, &status);
+  if (src == nullptr) return status;
+  if (src->k_ != k_) {
+    return Status::InvalidArgument(
+        "MisraGries::RestoreFrom: capacities must match");
+  }
+  accountant_.BeginUpdate();
+  // Evict entries the source no longer tracks (one tombstone word each).
+  for (auto iter = counts_.begin(); iter != counts_.end();) {
+    if (src->counts_.find(iter->first) == src->counts_.end()) {
+      accountant_.RecordWrite(cells_base_ + 1);
+      iter = counts_.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+  // Copy the source's entries; identical pairs are not state changes.
+  for (const auto& [item, count] : src->counts_) {
+    auto it = counts_.find(item);
+    if (it == counts_.end()) {
+      counts_.emplace(item, count);
+      accountant_.RecordWrite(cells_base_, 2);
+    } else if (it->second != count) {
+      it->second = count;
+      accountant_.RecordWrite(cells_base_ + 1);
+    } else {
+      accountant_.RecordSuppressedWrite();
+    }
+  }
+  return Status::OK();
+}
+
 double MisraGries::EstimateFrequency(Item item) const {
   auto it = counts_.find(item);
   return it == counts_.end() ? 0.0 : static_cast<double>(it->second);

@@ -9,6 +9,7 @@
 #include "api/mergeable.h"
 #include "common/status.h"
 #include "common/stream_types.h"
+#include "recover/restorable.h"
 #include "state/state_accountant.h"
 
 namespace fewstate {
@@ -20,7 +21,7 @@ namespace fewstate {
 /// with additive error at most m/(k+1). Every stream update mutates the
 /// summary, so the paper's state-change metric is Theta(m) — this is the
 /// canonical "writes on every update" baseline the paper contrasts with.
-class MisraGries : public MergeableSketch {
+class MisraGries : public MergeableSketch, public RestorableSketch {
  public:
   /// \brief Creates a summary with capacity `k >= 1` counters.
   explicit MisraGries(size_t k);
@@ -34,6 +35,20 @@ class MisraGries : public MergeableSketch {
   /// its own substream), so a sharded run keeps the MG guarantee on the
   /// combined stream.
   Status MergeFrom(const Sketch& other) override;
+
+  /// \brief Overwrites the summary with another MisraGries' (same
+  /// capacity) entry for entry: unchanged (item, count) pairs are
+  /// suppressed, changed counts cost one word, inserted pairs two, and
+  /// evicted slots one (the tombstone) — the checkpoint/restore contract
+  /// for map-shaped state. Delta restores use the default full scan: the
+  /// summary's write *addresses* are coarse (every write lands on one of
+  /// two cells, so dirty sets cap at 2 and per-slot filtering is
+  /// impossible — which also means the `CheckpointPolicy::kDirtyWords`
+  /// trigger undercounts this sketch; see ROADMAP), and MG changes most
+  /// of its counts between checkpoints anyway — it is the paper's
+  /// writes-everywhere baseline, so its deltas ≈ full rewrites by
+  /// nature.
+  Status RestoreFrom(const Sketch& source) override;
 
   /// \brief Underestimate of the frequency of `item` (0 if not tracked).
   double EstimateFrequency(Item item) const override;

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/stream_types.h"
 #include "counters/morris_counter.h"
+#include "recover/restorable.h"
 #include "state/state_accountant.h"
 #include "state/tracked.h"
 
@@ -35,7 +36,7 @@ namespace fewstate {
 ///    only (1+eps) accuracy for p < 1 (|<D+,f>| + |<D-,f>| = O(||f||_p));
 ///    for p >= 1 the mode still runs but the guarantee degrades, matching
 ///    the paper's scoping of Theorem 3.2 to p in (0, 1].
-class StableSketch : public MergeableSketch {
+class StableSketch : public MergeableSketch, public RestorableSketch {
  public:
   enum class CounterMode { kExact, kMorris };
 
@@ -60,6 +61,22 @@ class StableSketch : public MergeableSketch {
   /// combined estimate stays unbiased at the cost of one extra rounding
   /// variance term per merge.
   Status MergeFrom(const Sketch& other) override;
+
+  /// \brief Overwrites this sketch's state with another's (same p, rows,
+  /// seed, mode, Morris growth), exactly. Unlike `MergeFrom` — whose
+  /// Morris-mode combine consumes randomness and rounds probabilistically
+  /// — a restore copies counter levels verbatim *and* the pseudo-random
+  /// cursor, so a restored replica flips the same future coins as the
+  /// source: the property kill-and-recover bitwise equivalence rests on.
+  /// Unchanged words are suppressed; in kMorris mode almost nothing
+  /// changes between checkpoints, which is why this sketch's delta
+  /// checkpoints are nearly free.
+  Status RestoreFrom(const Sketch& source) override;
+
+  /// \brief Delta restore: copies only counters/accumulators whose cells
+  /// are dirty (plus the untracked RNG cursor, which is free wear-wise).
+  Status RestoreDirty(const Sketch& source,
+                      const DirtyTracker& dirty) override;
 
   /// \brief Estimate of ||f||_p.
   double EstimateLp() const;

@@ -73,6 +73,16 @@ Status MorrisCounter::Merge(const MorrisCounter& other) {
   return Status::OK();
 }
 
+Status MorrisCounter::RestoreFrom(const MorrisCounter& other) {
+  if (a_ != other.a_) {
+    return Status::InvalidArgument(
+        "MorrisCounter::RestoreFrom: growth parameters differ");
+  }
+  level_.Set(other.level_.Peek());  // suppressed when already equal
+  level_changes_ = other.level_changes_;
+  return Status::OK();
+}
+
 double MorrisCounter::Estimate() const { return ValueAt(level_.Peek()); }
 
 }  // namespace fewstate

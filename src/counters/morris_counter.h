@@ -58,11 +58,23 @@ class MorrisCounter {
   /// consolidable.
   Status Merge(const MorrisCounter& other);
 
+  /// \brief Overwrites this counter's level with `other`'s, exactly — no
+  /// probabilistic rounding and no randomness consumed (unlike `Merge`).
+  /// Writing the level already held is suppressed, so restoring onto the
+  /// previous checkpoint of an unadvanced counter is free. The
+  /// checkpoint/recovery primitive behind `RestorableSketch`
+  /// implementations built on Morris counters.
+  Status RestoreFrom(const MorrisCounter& other);
+
   /// \brief Unbiased estimate of the accumulated count/weight.
   double Estimate() const;
 
   /// \brief Current level (the single word of tracked state).
   uint32_t level() const { return level_.Peek(); }
+
+  /// \brief Logical cell address of the level word (dirty-set lookups in
+  /// delta restores).
+  uint64_t cell() const { return level_.cell(); }
 
   /// \brief Number of level advances so far (== tracked state changes
   /// attributable to this counter).

@@ -57,11 +57,14 @@ class LiveNvmSink : public WriteSink {
   /// validate (checked by callers that accept external specs).
   explicit LiveNvmSink(const NvmSpec& spec);
 
+  /// \brief Prices one word write on the device, through the policy, as
+  /// it happens.
   void OnWrite(uint64_t epoch, uint64_t cell) override {
     (void)epoch;  // wear does not depend on when, only on where
     path_.Write(cell);
   }
 
+  /// \brief Prices `count` aggregate reads (energy/latency; no wear).
   void OnBulkReads(uint64_t count) override { path_.BulkReads(count); }
 
   /// \brief A live device is always consistent; nothing to flush.
@@ -76,7 +79,10 @@ class LiveNvmSink : public WriteSink {
   /// path never drops.
   NvmReplayReport Report() const { return path_.Report(); }
 
+  /// \brief The simulated device behind this sink (direct wear queries).
   const NvmDevice& device() const { return *device_; }
+
+  /// \brief The spec this sink was built from.
   const NvmSpec& spec() const { return spec_; }
 
  private:

@@ -1,0 +1,102 @@
+#ifndef FEWSTATE_RECOVER_RESTORABLE_H_
+#define FEWSTATE_RECOVER_RESTORABLE_H_
+
+#include "api/sketch.h"
+#include "common/status.h"
+#include "state/dirty_tracker.h"
+
+namespace fewstate {
+
+/// \brief A `Sketch` whose exact state can be overwritten word-for-word
+/// from an identically-configured replica — the checkpoint/recovery
+/// contract.
+///
+/// `MergeFrom` *combines* two summaries (counts add); `RestoreFrom`
+/// *copies* one: after a successful restore the destination is
+/// bitwise-equivalent to the source and continues the stream exactly as
+/// the source would — including any pseudo-random cursors (a Morris
+/// counter's future coin flips are state too; a restored replica must
+/// flip the same coins). That equivalence is what makes kill-and-recover
+/// provable: snapshot = RestoreFrom(live), crash, rebuilt =
+/// RestoreFrom(snapshot) + trace tail ≡ the uninterrupted replica.
+///
+/// Contract:
+///  * `RestoreFrom(source)` overwrites this sketch's state with
+///    `source`'s. `source` must be the same concrete type with identical
+///    configuration; anything else returns `InvalidArgument` and leaves
+///    the destination untouched.
+///  * One restore opens one accounting epoch on the destination, and
+///    every word is written through the destination's `StateAccountant`
+///    with value-change suppression — so restoring onto the *previous*
+///    checkpoint prices exactly the words that changed since, and
+///    restoring an unchanged replica prices zero writes. This is the
+///    mechanism that makes delta checkpoints cost O(changed), not
+///    O(state).
+///  * `RestoreDirty(source, dirty)` additionally promises the caller that
+///    every cell outside `dirty` is unchanged in `source` since this
+///    destination last restored from it, so only dirty cells need to be
+///    scanned (O(dirty) serialization work). Priced writes are identical
+///    to a full `RestoreFrom` — suppression already makes clean words
+///    free — so the default implementation simply restores everything.
+///  * The source is read-only and its accountant is never charged
+///    (serializers read live DRAM state, not priced NVM).
+///
+/// Sketches that cannot expose exact per-word state (the sample-and-hold
+/// family's reservoirs) simply do not derive from this class;
+/// `IsRestorable` reports the property statically, by type. Restorability
+/// is orthogonal to mergeability — a class typically derives from both.
+class RestorableSketch {
+ public:
+  virtual ~RestorableSketch() = default;
+
+  /// \brief Overwrites this sketch's state (words and pseudo-random
+  /// cursors) with `source`'s. On error the destination is unchanged.
+  virtual Status RestoreFrom(const Sketch& source) = 0;
+
+  /// \brief Delta restore: `dirty` is the set of cells written in
+  /// `source` since this destination last restored from it; cells outside
+  /// it are guaranteed already equal. Implementations may scan only dirty
+  /// cells; the default falls back to a full restore (same priced cost —
+  /// unchanged words suppress).
+  virtual Status RestoreDirty(const Sketch& source,
+                              const DirtyTracker& dirty) {
+    (void)dirty;
+    return RestoreFrom(source);
+  }
+};
+
+/// \brief Shared `RestoreFrom` prologue, mirroring `MergeSourceAs`:
+/// resolves `source` as a `ConcreteT` and rejects self-restores. Returns
+/// nullptr with `*status` set on failure; the caller then only checks its
+/// own configuration fields.
+template <typename ConcreteT>
+const ConcreteT* RestoreSourceAs(const void* self, const Sketch& source,
+                                 Status* status) {
+  const auto* src = dynamic_cast<const ConcreteT*>(&source);
+  if (src == nullptr) {
+    *status = Status::InvalidArgument(
+        "RestoreFrom: source is not the destination's concrete type");
+    return nullptr;
+  }
+  if (static_cast<const void*>(src) == self) {
+    *status = Status::InvalidArgument("RestoreFrom: cannot restore from self");
+    return nullptr;
+  }
+  *status = Status::OK();
+  return src;
+}
+
+/// \brief True iff `sketch` implements the exact-restore contract.
+inline bool IsRestorable(const Sketch& sketch) {
+  return dynamic_cast<const RestorableSketch*>(&sketch) != nullptr;
+}
+
+/// \brief Downcast to the restore interface; nullptr for non-restorable
+/// sketches.
+inline RestorableSketch* AsRestorable(Sketch* sketch) {
+  return dynamic_cast<RestorableSketch*>(sketch);
+}
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_RECOVER_RESTORABLE_H_

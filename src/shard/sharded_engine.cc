@@ -81,6 +81,21 @@ const ShardedSketchReport* ShardedRunReport::Find(
   return nullptr;
 }
 
+namespace {
+
+/// Worker-local checkpoint bookkeeping for one (shard, sketch) pair.
+struct CkptTrack {
+  uint64_t next_every_items = 0;  // next kEveryItems threshold
+  uint64_t writes_at_last = 0;    // replica word_writes at last checkpoint
+  uint64_t items_at_last = 0;     // shard items at last checkpoint
+  uint64_t taken = 0;
+  uint64_t full = 0;
+  uint64_t delta = 0;
+  SketchRunReport acc;  // accumulated snapshot accountant deltas
+};
+
+}  // namespace
+
 std::string ShardedRunReport::ToString() const {
   std::string out;
   char line[320];
@@ -124,9 +139,12 @@ std::string ShardedRunReport::ToString() const {
     if (s.checkpoints_taken > 0) {
       std::snprintf(
           line, sizeof(line),
-          "    checkpoints=%-4llu snapshot_writes=%-10llu "
-          "ckpt_nvm_max_wear=%-8llu ckpt_replays_to_eol=%.4g\n",
+          "    checkpoints=%-4llu (full=%llu delta=%llu) "
+          "snapshot_writes=%-10llu ckpt_nvm_max_wear=%-8llu "
+          "ckpt_replays_to_eol=%.4g\n",
           static_cast<unsigned long long>(s.checkpoints_taken),
+          static_cast<unsigned long long>(s.checkpoint.full_checkpoints),
+          static_cast<unsigned long long>(s.checkpoint.delta_checkpoints),
           static_cast<unsigned long long>(s.checkpoint.word_writes),
           static_cast<unsigned long long>(s.checkpoint.nvm.max_cell_wear),
           s.checkpoint.nvm.projected_stream_replays_to_failure);
@@ -173,9 +191,27 @@ ShardedEngine::ShardedEngine(const ShardedEngineOptions& options)
   if (options_.shards == 0) options_.shards = 1;
   if (options_.batch_items == 0) options_.batch_items = 1;
   if (options_.max_queued_batches == 0) options_.max_queued_batches = 1;
+  // Effective schedule: the policy, or the legacy every-N shim (full
+  // snapshots — the pre-policy behaviour) when only that field is set.
+  policy_ = options_.checkpoint_policy;
+  if (!policy_.enabled() && options_.checkpoint_every_items > 0) {
+    policy_ = CheckpointPolicy::EveryItems(options_.checkpoint_every_items,
+                                           CheckpointPolicy::Snapshot::kFull);
+  }
+  // A trigger with a zero parameter is a degenerate schedule (kEveryItems
+  // would spin forever; the others would fire every batch): treat it as
+  // disabled, like the factory helpers do.
+  if ((policy_.trigger == CheckpointPolicy::Trigger::kEveryItems &&
+       policy_.every_items == 0) ||
+      (policy_.trigger == CheckpointPolicy::Trigger::kWriteBudget &&
+       policy_.write_budget == 0) ||
+      (policy_.trigger == CheckpointPolicy::Trigger::kDirtyWords &&
+       policy_.dirty_words == 0)) {
+    policy_.trigger = CheckpointPolicy::Trigger::kNone;
+  }
   // An invalid checkpoint device is a programming error, caught at setup
   // like StreamEngine's registration aborts — not mid-run.
-  if (options_.checkpoint_every_items > 0) {
+  if (policy_.enabled()) {
     const Status valid = options_.checkpoint_nvm.Validate();
     if (!valid.ok()) {
       std::fprintf(stderr,
@@ -216,9 +252,17 @@ Status ShardedEngine::AddSketchEntry(SketchFactory factory, bool has_nvm,
         "' is not mergeable; a multi-shard engine requires MergeableSketch "
         "implementations (run it in a shards=1 engine instead)");
   }
-  Entry entry{std::move(factory), mergeable, has_nvm, nvm_spec};
+  const bool restorable = IsRestorable(*probe);
+  Entry entry{std::move(factory), mergeable, restorable, has_nvm, nvm_spec};
   entries_.push_back(std::move(entry));
   return Status::OK();
+}
+
+size_t ShardedEngine::ShardOf(Item item) const {
+  return options_.shards == 1
+             ? 0
+             : static_cast<size_t>(Mix64(item ^ options_.partition_seed) %
+                                   options_.shards);
 }
 
 std::vector<std::string> ShardedEngine::names() const {
@@ -247,6 +291,22 @@ Sketch* ShardedEngine::Replica(size_t shard, const std::string& name) const {
   return replicas_[shard][i].get();
 }
 
+const Sketch* ShardedEngine::Snapshot(size_t shard,
+                                      const std::string& name) const {
+  if (shard >= snapshots_.size()) return nullptr;
+  const size_t i = IndexOf(name);
+  if (i >= snapshots_[shard].size()) return nullptr;
+  return snapshots_[shard][i].get();
+}
+
+LiveNvmSink* ShardedEngine::CheckpointSink(size_t shard,
+                                           const std::string& name) const {
+  if (shard >= ckpt_sinks_.size()) return nullptr;
+  const size_t i = IndexOf(name);
+  if (i >= ckpt_sinks_[shard].size()) return nullptr;
+  return ckpt_sinks_[shard][i].get();
+}
+
 ShardedRunReport ShardedEngine::Run(const Stream& stream) {
   VectorSource source(stream);
   return Run(source);
@@ -263,45 +323,73 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   report.shard_items.assign(num_shards, 0);
   report.sketches.resize(num_sketches);
 
-  const uint64_t ckpt_every = options_.checkpoint_every_items;
+  const bool checkpointing = policy_.enabled();
 
   // Fresh replicas: a sharded run consumes its replicas by merging them.
-  // Entries with an NVM spec get one live device per replica, attached
-  // before any update so the device prices the replica's whole lifetime.
+  // Entries with an NVM spec get one live device per replica; entries the
+  // checkpoint policy tracks deltas for get a `DirtyTracker`; an entry
+  // needing both gets them tee'd. Sinks attach before any update so they
+  // see the replica's whole lifetime.
   replicas_.clear();
   replicas_.resize(num_shards);
+  snapshots_.clear();
+  snapshots_.resize(num_shards);
   nvm_sinks_.clear();
   nvm_sinks_.resize(num_shards);
+  ckpt_sinks_.clear();
+  ckpt_sinks_.resize(num_shards);
+  dirty_.clear();
+  dirty_.resize(num_shards);
+  tee_sinks_.clear();
+  tee_sinks_.resize(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     replicas_[s].reserve(num_sketches);
+    snapshots_[s].resize(num_sketches);
     nvm_sinks_[s].resize(num_sketches);
+    ckpt_sinks_[s].resize(num_sketches);
+    dirty_[s].resize(num_sketches);
+    tee_sinks_[s].resize(num_sketches);
     for (size_t i = 0; i < num_sketches; ++i) {
-      replicas_[s].push_back(entries_[i].factory.Make());
-      if (entries_[i].has_nvm) {
-        nvm_sinks_[s][i] = std::make_unique<LiveNvmSink>(entries_[i].nvm_spec);
-        replicas_[s][i]->mutable_accountant()->set_write_sink(
-            nvm_sinks_[s][i].get());
+      const Entry& e = entries_[i];
+      replicas_[s].push_back(e.factory.Make());
+      const bool checkpointable = e.mergeable || e.restorable;
+      if (e.has_nvm) {
+        nvm_sinks_[s][i] = std::make_unique<LiveNvmSink>(e.nvm_spec);
+      }
+      if (checkpointing && checkpointable) {
+        // Checkpoint device: persists across this shard's checkpoints
+        // (re-snapshotting the same region accrues wear).
+        ckpt_sinks_[s][i] =
+            std::make_unique<LiveNvmSink>(options_.checkpoint_nvm);
+        if (policy_.needs_dirty_tracking()) {
+          dirty_[s][i] = std::make_unique<DirtyTracker>();
+        }
+      }
+      WriteSink* sink = nullptr;
+      if (nvm_sinks_[s][i] != nullptr && dirty_[s][i] != nullptr) {
+        tee_sinks_[s][i] = std::make_unique<TeeSink>(std::vector<WriteSink*>{
+            dirty_[s][i].get(), nvm_sinks_[s][i].get()});
+        sink = tee_sinks_[s][i].get();
+      } else if (nvm_sinks_[s][i] != nullptr) {
+        sink = nvm_sinks_[s][i].get();
+      } else if (dirty_[s][i] != nullptr) {
+        sink = dirty_[s][i].get();
+      }
+      if (sink != nullptr) {
+        replicas_[s][i]->mutable_accountant()->set_write_sink(sink);
       }
     }
   }
 
-  // Checkpoint devices: one per (shard, mergeable sketch). The devices
-  // persist across a shard's checkpoints (re-snapshotting accrues wear);
-  // the per-snapshot accountant deltas accumulate in ckpt_acc. All of it
-  // is touched only by worker s until the join.
-  std::vector<std::vector<std::unique_ptr<LiveNvmSink>>> ckpt_sinks(
-      num_shards);
-  std::vector<std::vector<SketchRunReport>> ckpt_acc(
-      num_shards, std::vector<SketchRunReport>(num_sketches));
-  std::vector<std::vector<uint64_t>> ckpt_counts(
-      num_shards, std::vector<uint64_t>(num_sketches, 0));
-  if (ckpt_every > 0) {
+  // Per-(shard, sketch) checkpoint bookkeeping; touched only by worker s
+  // until the join.
+  std::vector<std::vector<CkptTrack>> ckpt(
+      num_shards, std::vector<CkptTrack>(num_sketches));
+  if (checkpointing &&
+      policy_.trigger == CheckpointPolicy::Trigger::kEveryItems) {
     for (size_t s = 0; s < num_shards; ++s) {
-      ckpt_sinks[s].resize(num_sketches);
       for (size_t i = 0; i < num_sketches; ++i) {
-        if (!entries_[i].mergeable) continue;  // nothing to snapshot
-        ckpt_sinks[s][i] =
-            std::make_unique<LiveNvmSink>(options_.checkpoint_nvm);
+        ckpt[s][i].next_every_items = policy_.every_items;
       }
     }
   }
@@ -328,15 +416,88 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   std::vector<std::vector<double>> busy(num_shards,
                                         std::vector<double>(num_sketches, 0.0));
 
+  // Serializes shard s's live replica of sketch i into its snapshot,
+  // pricing the writes on the (shard, sketch) checkpoint device. A *full*
+  // checkpoint rewrites the whole state region (a freshly-minted snapshot
+  // replica absorbs the live one — every nonzero word costs a device
+  // write); a *delta* checkpoint overwrites the persistent snapshot with
+  // just the words the `DirtyTracker` saw change, which for the paper's
+  // write-frugal sketches is a tiny fraction of state. Runs on shard s's
+  // worker thread only; per-(s, i) state keeps workers independent.
+  auto take_checkpoint = [this](size_t s, size_t i, CkptTrack* track,
+                                uint64_t processed) {
+    const Entry& e = entries_[i];
+    Sketch* live = replicas_[s][i].get();
+    DirtyTracker* dirty = dirty_[s][i].get();
+    // Delta only when the policy asks for it, the sketch supports exact
+    // restores, a base snapshot exists, and the dirty fraction is below
+    // the full-rewrite threshold (past it, a delta costs a rewrite
+    // anyway).
+    bool full = true;
+    if (policy_.snapshot == CheckpointPolicy::Snapshot::kDelta &&
+        e.restorable && snapshots_[s][i] != nullptr && dirty != nullptr) {
+      const uint64_t allocated = live->accountant().allocated_words();
+      const double fraction =
+          allocated == 0 ? 1.0
+                         : static_cast<double>(dirty->dirty_words()) /
+                               static_cast<double>(allocated);
+      full = fraction >= policy_.full_snapshot_dirty_fraction;
+    }
+    const Clock::time_point t0 = Clock::now();
+    if (full) {
+      std::unique_ptr<Sketch> fresh = e.factory.Make();
+      fresh->mutable_accountant()->set_write_sink(ckpt_sinks_[s][i].get());
+      const Status status =
+          e.restorable ? AsRestorable(fresh.get())->RestoreFrom(*live)
+                       : AsMergeable(fresh.get())->MergeFrom(*live);
+      if (!status.ok()) {
+        std::fprintf(stderr,
+                     "ShardedEngine::Run: checkpoint of '%s' failed: %s\n",
+                     e.factory.name().c_str(), status.ToString().c_str());
+        std::abort();
+      }
+      const StateAccountant& a = fresh->accountant();
+      SketchRunReport delta_report;
+      delta_report.updates = a.updates();
+      delta_report.state_changes = a.state_changes();
+      delta_report.word_writes = a.word_writes();
+      delta_report.suppressed_writes = a.suppressed_writes();
+      delta_report.word_reads = a.word_reads();
+      Accumulate(&track->acc, delta_report);
+      snapshots_[s][i] = std::move(fresh);
+      ++track->full;
+    } else {
+      Sketch* snap = snapshots_[s][i].get();
+      const AccountantSnapshot pre =
+          AccountantSnapshot::Of(snap->accountant());
+      const Status status = AsRestorable(snap)->RestoreDirty(*live, *dirty);
+      if (!status.ok()) {
+        std::fprintf(stderr,
+                     "ShardedEngine::Run: delta checkpoint of '%s' failed: "
+                     "%s\n",
+                     e.factory.name().c_str(), status.ToString().c_str());
+        std::abort();
+      }
+      Accumulate(&track->acc,
+                 pre.DeltaTo(AccountantSnapshot::Of(snap->accountant())));
+      ++track->delta;
+    }
+    track->acc.wall_seconds += Seconds(t0, Clock::now());
+    ++track->taken;
+    // The next interval's dirty set and budgets start now.
+    if (dirty != nullptr) dirty->ClearDirty();
+    track->writes_at_last = live->accountant().word_writes();
+    track->items_at_last = processed;
+  };
+
   const Clock::time_point ingest_start = Clock::now();
   std::vector<std::thread> workers;
   workers.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    workers.emplace_back([this, s, num_sketches, ckpt_every, &queues, &busy,
-                          &ckpt_sinks, &ckpt_acc, &ckpt_counts] {
+    workers.emplace_back([this, s, num_sketches, checkpointing, &queues,
+                          &busy, &ckpt, &take_checkpoint] {
       Stream batch;
       uint64_t processed = 0;
-      uint64_t next_checkpoint = ckpt_every;
       while (queues[s]->Pop(&batch)) {
         // Blocked like StreamEngine::Run: per (sketch, batch) timing keeps
         // clock overhead negligible and the per-sketch update order
@@ -347,43 +508,37 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
           for (Item item : batch) sketch->Update(item);
           busy[s][i] += Seconds(t0, Clock::now());
         }
-        if (ckpt_every == 0) continue;
-        // Durability checkpoints fire at batch boundaries once the shard's
-        // item counter crosses each threshold — deterministic for a fixed
-        // source/seed/S, since the partitioner's batch splits are.
+        if (!checkpointing) continue;
+        // Checkpoint triggers are evaluated at batch boundaries —
+        // deterministic for a fixed source/seed/S, since the
+        // partitioner's batch splits, each shard's item sequence, and
+        // therefore each replica's write counts and dirty sets all are.
         processed += batch.size();
-        while (processed >= next_checkpoint) {
-          for (size_t i = 0; i < num_sketches; ++i) {
-            if (ckpt_sinks[s][i] == nullptr) continue;
-            const Clock::time_point t0 = Clock::now();
-            // A checkpoint writes the replica's current state onto NVM: a
-            // fresh snapshot replica (same factory, so same logical cell
-            // layout — the same device region is rewritten every time)
-            // absorbs the live replica through the sink-priced merge path.
-            std::unique_ptr<Sketch> snapshot = entries_[i].factory.Make();
-            snapshot->mutable_accountant()->set_write_sink(
-                ckpt_sinks[s][i].get());
-            const Status status =
-                AsMergeable(snapshot.get())->MergeFrom(*replicas_[s][i]);
-            if (!status.ok()) {
-              std::fprintf(stderr,
-                           "ShardedEngine::Run: checkpoint of '%s' failed: "
-                           "%s\n",
-                           entries_[i].factory.name().c_str(),
-                           status.ToString().c_str());
-              std::abort();
-            }
-            const StateAccountant& a = snapshot->accountant();
-            SketchRunReport& acc = ckpt_acc[s][i];
-            acc.updates += a.updates();
-            acc.state_changes += a.state_changes();
-            acc.word_writes += a.word_writes();
-            acc.suppressed_writes += a.suppressed_writes();
-            acc.word_reads += a.word_reads();
-            acc.wall_seconds += Seconds(t0, Clock::now());
-            ++ckpt_counts[s][i];
+        for (size_t i = 0; i < num_sketches; ++i) {
+          if (ckpt_sinks_[s][i] == nullptr) continue;  // not checkpointable
+          CkptTrack* track = &ckpt[s][i];
+          switch (policy_.trigger) {
+            case CheckpointPolicy::Trigger::kEveryItems:
+              while (processed >= track->next_every_items) {
+                take_checkpoint(s, i, track, processed);
+                track->next_every_items += policy_.every_items;
+              }
+              break;
+            case CheckpointPolicy::Trigger::kWriteBudget:
+              if (replicas_[s][i]->accountant().word_writes() -
+                      track->writes_at_last >=
+                  policy_.write_budget) {
+                take_checkpoint(s, i, track, processed);
+              }
+              break;
+            case CheckpointPolicy::Trigger::kDirtyWords:
+              if (dirty_[s][i]->dirty_words() >= policy_.dirty_words) {
+                take_checkpoint(s, i, track, processed);
+              }
+              break;
+            case CheckpointPolicy::Trigger::kNone:
+              break;
           }
-          next_checkpoint += ckpt_every;
         }
       }
     });
@@ -405,11 +560,7 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
         [&](const Item* batch, size_t count) {
           for (size_t k = 0; k < count; ++k) {
             const Item item = batch[k];
-            const size_t s =
-                num_shards == 1
-                    ? 0
-                    : static_cast<size_t>(
-                          Mix64(item ^ options_.partition_seed) % num_shards);
+            const size_t s = ShardOf(item);
             ++report.shard_items[s];
             pending[s].push_back(item);
             if (pending[s].size() >= options_.batch_items) {
@@ -432,6 +583,7 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
     ShardedSketchReport& sk = report.sketches[i];
     sk.name = entries_[i].factory.name();
     sk.mergeable = entries_[i].mergeable;
+    sk.restorable = entries_[i].restorable;
     sk.per_shard.resize(num_shards);
     for (size_t s = 0; s < num_shards; ++s) {
       const StateAccountant& a = replicas_[s][i]->accountant();
@@ -476,18 +628,23 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   // Durability (checkpoint) traffic: fold each shard's snapshot deltas and
   // checkpoint devices into one per-sketch view, and charge it to total —
   // a deployed monitor pays for durability like it pays for updates.
-  if (ckpt_every > 0) {
+  if (checkpointing) {
     for (size_t i = 0; i < num_sketches; ++i) {
       ShardedSketchReport& sk = report.sketches[i];
       sk.checkpoint.name = sk.name;
-      if (!entries_[i].mergeable) continue;
+      sk.last_checkpoint_items.assign(num_shards, 0);
+      if (ckpt_sinks_[0][i] == nullptr) continue;  // not checkpointable
       std::vector<NvmReplayReport> devices;
       devices.reserve(num_shards);
       for (size_t s = 0; s < num_shards; ++s) {
-        Accumulate(&sk.checkpoint, ckpt_acc[s][i]);
-        sk.checkpoints_taken += ckpt_counts[s][i];
-        ckpt_sinks[s][i]->Flush();  // end-of-phase barrier (sink contract)
-        devices.push_back(ckpt_sinks[s][i]->Report());
+        const CkptTrack& track = ckpt[s][i];
+        Accumulate(&sk.checkpoint, track.acc);
+        sk.checkpoints_taken += track.taken;
+        sk.checkpoint.full_checkpoints += track.full;
+        sk.checkpoint.delta_checkpoints += track.delta;
+        sk.last_checkpoint_items[s] = track.items_at_last;
+        ckpt_sinks_[s][i]->Flush();  // end-of-phase barrier (sink contract)
+        devices.push_back(ckpt_sinks_[s][i]->Report());
       }
       sk.checkpoint.has_nvm = true;
       sk.checkpoint.nvm = AggregateNvmReports(devices);

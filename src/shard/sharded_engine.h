@@ -12,7 +12,10 @@
 #include "common/status.h"
 #include "common/stream_types.h"
 #include "nvm/live_sink.h"
+#include "recover/checkpoint_policy.h"
+#include "recover/restorable.h"
 #include "shard/sketch_factory.h"
+#include "state/dirty_tracker.h"
 
 namespace fewstate {
 
@@ -32,17 +35,25 @@ struct ShardedEngineOptions {
   /// all occurrences of an item land on one shard — required for the
   /// counter-based summaries to merge meaningfully.
   uint64_t partition_seed = 0x5a4dedb175ULL;
-  /// Periodic durability checkpointing: each time a shard has ingested
-  /// another `checkpoint_every_items` items (checked at batch boundaries,
-  /// on the shard's own worker thread), it merges its live replica of
-  /// every mergeable sketch into a fresh NVM-backed snapshot replica, so
-  /// durability traffic is priced by the same `WriteSink` pipeline as
-  /// update wear. The snapshot devices persist across checkpoints within
-  /// one run — re-snapshotting the same state region accrues wear, which
-  /// is exactly the durability cost the report surfaces. 0 disables.
-  /// Non-mergeable entries (possible when shards == 1) are skipped.
-  /// Workers mint snapshot replicas concurrently, so registered makers
-  /// must be safe for concurrent `Make()` (see `SketchFactory`).
+  /// Durability checkpointing schedule and snapshot mode (see
+  /// `CheckpointPolicy`). Checkpoints fire at batch boundaries on the
+  /// shard's own worker thread and serialize the shard's live replicas
+  /// into NVM-backed snapshot sketches, pricing durability traffic
+  /// through the same `WriteSink` pipeline as update wear. With
+  /// `Snapshot::kDelta`, `RestorableSketch` entries keep one persistent
+  /// snapshot per (shard, sketch) and re-serialize only the words the
+  /// `DirtyTracker` saw change; mergeable-but-not-restorable entries fall
+  /// back to full snapshots, and non-checkpointable entries (possible
+  /// when shards == 1) are skipped. Snapshot devices persist across a
+  /// shard's checkpoints within one run — re-snapshotting the same state
+  /// region accrues wear, which is exactly the durability cost the report
+  /// surfaces. Workers mint snapshot replicas concurrently, so registered
+  /// makers must be safe for concurrent `Make()` (see `SketchFactory`).
+  CheckpointPolicy checkpoint_policy;
+  /// Legacy shim for the pre-policy API: when `checkpoint_policy` is
+  /// disabled and this is nonzero, the engine behaves as if
+  /// `checkpoint_policy = CheckpointPolicy::EveryItems(n)` (full
+  /// snapshots — the original behaviour). 0 defers to the policy.
   uint64_t checkpoint_every_items = 0;
   /// Device spec for the checkpoint snapshots (one device per
   /// (shard, sketch), minted fresh each `Run`). Validated at engine
@@ -62,15 +73,24 @@ struct ShardedEngineOptions {
 struct ShardedSketchReport {
   std::string name;
   bool mergeable = false;
+  /// True iff the registered sketch implements `RestorableSketch` (exact
+  /// word-for-word snapshots; required for delta checkpoints/recovery).
+  bool restorable = false;
   std::vector<SketchRunReport> per_shard;
   SketchRunReport merge;
   /// Durability traffic: accountant deltas of the NVM-backed snapshot
   /// replicas, summed over every checkpoint on every shard (its `nvm`
   /// aggregates the checkpoint devices). Folded into `total` — a deployed
-  /// monitor pays for durability too.
+  /// monitor pays for durability too. Its `full_checkpoints` /
+  /// `delta_checkpoints` fields split `checkpoints_taken` by snapshot
+  /// kind.
   SketchRunReport checkpoint;
-  /// Snapshot merges performed across all shards.
+  /// Snapshots taken across all shards (full + delta).
   uint64_t checkpoints_taken = 0;
+  /// Per shard: items that shard had ingested at its most recent
+  /// checkpoint of this sketch (0 if it never checkpointed). Recovery
+  /// replays the trace suffix past this point — the repo's RPO marker.
+  std::vector<uint64_t> last_checkpoint_items;
   SketchRunReport total;
 };
 
@@ -120,11 +140,16 @@ struct ShardedRunReport {
 ///  * after the stream ends and workers join, shards 1..S-1 are merged
 ///    into shard 0's replica through `MergeableSketch::MergeFrom`, with
 ///    merge-time writes accounted on the destination;
-///  * optionally (`checkpoint_every_items`), each worker periodically
-///    merges its live replica into a fresh NVM-backed snapshot replica, so
-///    durability traffic is priced through the same `WriteSink` pipeline
-///    as update wear — deterministic for a fixed source/seed/S, since each
-///    shard's item sequence and batch boundaries are deterministic;
+///  * optionally (`checkpoint_policy`), each worker serializes its live
+///    replicas into NVM-backed snapshot sketches — on an every-N-items,
+///    wear-budget or dirty-set schedule, as full rewrites or as delta
+///    checkpoints of just the changed words — so durability traffic is
+///    priced through the same `WriteSink` pipeline as update wear.
+///    Deterministic for a fixed source/seed/S, since each shard's item
+///    sequence and batch boundaries are deterministic. The snapshots
+///    survive the run (`Snapshot`), and `RecoverReplica`
+///    (`recover/recovery.h`) rebuilds a crashed shard from one plus the
+///    shard's trace tail;
 ///  * the `ShardedRunReport` carries per-shard and aggregated wear (plus
 ///    live NVM device state when a spec is attached) and an
 ///    ingest-throughput figure.
@@ -151,9 +176,19 @@ class ShardedEngine {
   /// per-shard and aggregated device wear/energy/lifetime for this sketch.
   Status AddSketch(SketchFactory factory, const NvmSpec& nvm_spec);
 
+  /// \brief Configured shard count S.
   size_t shards() const { return options_.shards; }
+
+  /// \brief Number of registered sketches.
   size_t size() const { return entries_.size(); }
+
+  /// \brief Registered names, in registration order.
   std::vector<std::string> names() const;
+
+  /// \brief The shard this engine routes `item` to — the partition
+  /// function, exposed so a recovery driver can reconstruct one shard's
+  /// substream (the trace tail) from a captured whole-stream trace.
+  size_t ShardOf(Item item) const;
 
   /// \brief Pulls `source` to end-of-stream, hash-partitioning items into
   /// the per-shard bounded batch queues, ingests on worker threads, merges
@@ -182,12 +217,26 @@ class ShardedEngine {
   /// nullptr. Shard 0's replica has absorbed the others when S > 1.
   Sketch* Replica(size_t shard, const std::string& name) const;
 
+  /// \brief Shard `shard`'s most recent checkpoint snapshot of `name`
+  /// after the last `Run`, or nullptr if that shard never checkpointed
+  /// it. This is the durable state a crash would leave behind — hand it
+  /// to `RecoverReplica` with the shard's trace tail to rebuild the
+  /// replica. Valid until the next `Run`.
+  const Sketch* Snapshot(size_t shard, const std::string& name) const;
+
+  /// \brief The live sink of shard `shard`'s checkpoint device for
+  /// `name` (recovery charges its snapshot reads here), or nullptr when
+  /// checkpointing was off for that entry. Valid until the next `Run`.
+  LiveNvmSink* CheckpointSink(size_t shard, const std::string& name) const;
+
+  /// \brief The report of the most recent `Run` (empty before the first).
   const ShardedRunReport& last_report() const { return last_report_; }
 
  private:
   struct Entry {
     SketchFactory factory;
     bool mergeable = false;
+    bool restorable = false;
     bool has_nvm = false;
     NvmSpec nvm_spec;  // meaningful iff has_nvm
   };
@@ -197,15 +246,32 @@ class ShardedEngine {
                         const NvmSpec& nvm_spec);
 
   ShardedEngineOptions options_;
+  // The effective checkpoint schedule: options_.checkpoint_policy, or the
+  // legacy checkpoint_every_items shim mapped onto EveryItems/kFull.
+  CheckpointPolicy policy_;
   std::vector<Entry> entries_;
-  // nvm_sinks_[shard][sketch]: live device behind each replica (nullptr
-  // when the entry has no NVM attachment). Rebuilt by each Run, kept so
-  // replica queries can inspect devices afterwards. Declared before
-  // replicas_ so sinks outlive the sketches whose accountants point at
-  // them, on destruction as well as during Run's rebuild.
+  // Sink state, [shard][sketch] throughout (nullptr where not attached).
+  // Rebuilt by each Run and kept so queries can inspect devices and
+  // recovery can price against checkpoint sinks afterwards. All sinks are
+  // declared before the sketches whose accountants point at them
+  // (replicas_, snapshots_), so they outlive those sketches on
+  // destruction as well as during Run's rebuild.
+  //   nvm_sinks_: live update device behind each replica;
+  //   ckpt_sinks_: checkpoint device each snapshot serializes onto;
+  //   dirty_: dirty-set tracker feeding delta checkpoints and the
+  //           dirty-words trigger;
+  //   tee_sinks_: fan-out when a replica needs both a device and a
+  //               tracker.
   std::vector<std::vector<std::unique_ptr<LiveNvmSink>>> nvm_sinks_;
+  std::vector<std::vector<std::unique_ptr<LiveNvmSink>>> ckpt_sinks_;
+  std::vector<std::vector<std::unique_ptr<DirtyTracker>>> dirty_;
+  std::vector<std::vector<std::unique_ptr<TeeSink>>> tee_sinks_;
   // replicas_[shard][sketch]; rebuilt by each Run and kept for queries.
   std::vector<std::vector<std::unique_ptr<Sketch>>> replicas_;
+  // snapshots_[shard][sketch]: the most recent checkpoint of each replica
+  // (persistent across a shard's checkpoints in delta mode; replaced
+  // wholesale by full snapshots). Kept after Run for recovery.
+  std::vector<std::vector<std::unique_ptr<Sketch>>> snapshots_;
   ShardedRunReport last_report_;
 };
 

@@ -1,0 +1,73 @@
+#ifndef FEWSTATE_STATE_DIRTY_TRACKER_H_
+#define FEWSTATE_STATE_DIRTY_TRACKER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "state/write_sink.h"
+
+namespace fewstate {
+
+/// \brief A `WriteSink` that records *which* words were touched, not how
+/// often — the dirty set behind delta checkpoints and wear-aware
+/// checkpoint scheduling.
+///
+/// Tee one of these alongside a `LiveNvmSink` (or attach it alone) and it
+/// accumulates the set of distinct cells written since the last
+/// `ClearDirty()`. A delta checkpoint then needs to serialize exactly
+/// those words: every cell *not* in the set is guaranteed to hold the same
+/// value it held at the previous checkpoint (suppressed writes never reach
+/// any sink, so set membership means the value really changed at least
+/// once). Memory is O(words touched in the interval) — for the paper's
+/// write-frugal algorithms that is far below state size, which is
+/// precisely why their delta checkpoints are nearly free.
+///
+/// Like every sink, a tracker belongs to one algorithm instance and is not
+/// thread-safe.
+class DirtyTracker : public WriteSink {
+ public:
+  DirtyTracker() = default;
+
+  /// \brief Marks `cell` dirty (the epoch is irrelevant: the set answers
+  /// "changed since last checkpoint", not "when").
+  void OnWrite(uint64_t epoch, uint64_t cell) override {
+    (void)epoch;
+    dirty_.insert(cell);
+  }
+
+  /// \brief Reads never dirty a word; nothing to record.
+  void OnBulkReads(uint64_t count) override { (void)count; }
+
+  /// \brief A reset accountant has no pending delta.
+  void Reset() override { ClearDirty(); }
+
+  /// \brief Number of distinct words written since the last clear — the
+  /// exact size of the next delta checkpoint, and the quantity the
+  /// `CheckpointPolicy` dirty-set trigger watches.
+  uint64_t dirty_words() const { return dirty_.size(); }
+
+  /// \brief True iff `cell` was written since the last clear.
+  bool Contains(uint64_t cell) const { return dirty_.count(cell) > 0; }
+
+  /// \brief The dirty set in ascending cell order — deterministic
+  /// serialization order for delta checkpoints (so recorded write traces
+  /// and wear are reproducible run to run).
+  std::vector<uint64_t> SortedCells() const {
+    std::vector<uint64_t> cells(dirty_.begin(), dirty_.end());
+    std::sort(cells.begin(), cells.end());
+    return cells;
+  }
+
+  /// \brief Starts a new checkpoint interval: the set empties, membership
+  /// answers "since the checkpoint that just completed".
+  void ClearDirty() { dirty_.clear(); }
+
+ private:
+  std::unordered_set<uint64_t> dirty_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_STATE_DIRTY_TRACKER_H_

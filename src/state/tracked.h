@@ -147,6 +147,34 @@ void AddTrackedArray(TrackedArray<T>* dst, const TrackedArray<T>& src) {
   }
 }
 
+/// \brief Overwrites `dst` element-wise with `src` (equal sizes assumed —
+/// the checkpoint/restore primitive behind `RestorableSketch`). Words
+/// already holding the source value are suppressed, so restoring onto the
+/// previous checkpoint prices exactly the words that changed since.
+template <typename T>
+void CopyTrackedArray(TrackedArray<T>* dst, const TrackedArray<T>& src) {
+  for (size_t i = 0; i < src.size(); ++i) dst->Set(i, src.Peek(i));
+}
+
+/// \brief Delta-restore variant of `CopyTrackedArray`: copies only the
+/// elements whose absolute cell addresses appear in `cells` (ascending; a
+/// `DirtyTracker::SortedCells` output). Addresses are interpreted in
+/// `src`'s space — identical to `dst`'s for identically-configured
+/// replicas, which is the `RestorableSketch` precondition. Cells outside
+/// the array are ignored (they belong to the algorithm's other
+/// structures).
+template <typename T>
+void CopyTrackedArrayCells(TrackedArray<T>* dst, const TrackedArray<T>& src,
+                           const std::vector<uint64_t>& cells) {
+  const uint64_t base = src.base_cell();
+  const uint64_t end = base + src.size();
+  for (uint64_t cell : cells) {
+    if (cell < base || cell >= end) continue;
+    const size_t i = static_cast<size_t>(cell - base);
+    dst->Set(i, src.Peek(i));
+  }
+}
+
 }  // namespace fewstate
 
 #endif  // FEWSTATE_STATE_TRACKED_H_

@@ -55,18 +55,23 @@ class WriteSink {
 /// wear, in one pass. Sinks must outlive the tee.
 class TeeSink : public WriteSink {
  public:
+  /// \brief Borrows `sinks`; events fan out in the given order.
   explicit TeeSink(std::vector<WriteSink*> sinks)
       : sinks_(std::move(sinks)) {}
 
+  /// \brief Forwards the write event to every sink, in order.
   void OnWrite(uint64_t epoch, uint64_t cell) override {
     for (WriteSink* sink : sinks_) sink->OnWrite(epoch, cell);
   }
+  /// \brief Forwards the read count to every sink, in order.
   void OnBulkReads(uint64_t count) override {
     for (WriteSink* sink : sinks_) sink->OnBulkReads(count);
   }
+  /// \brief Flushes every sink, in order.
   void Flush() override {
     for (WriteSink* sink : sinks_) sink->Flush();
   }
+  /// \brief Resets every sink, in order.
   void Reset() override {
     for (WriteSink* sink : sinks_) sink->Reset();
   }
