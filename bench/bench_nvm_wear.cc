@@ -31,9 +31,11 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "api/item_source.h"
@@ -253,6 +255,16 @@ std::unique_ptr<ShardedEngine> MakeCheckpointEngine(
   return engine;
 }
 
+// Any trace-source failure (bad path, truncated file, read error) is
+// fatal — a zero-item "successful" bench run is worse than no run.
+void DieUnlessClean(const ItemSource& trace) {
+  const Status status = trace.status();
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_nvm_wear: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
 int RunCheckpoint(uint64_t items, uint64_t every) {
   bench::Banner(
       "E10 bench_nvm_wear --checkpoint",
@@ -261,10 +273,28 @@ int RunCheckpoint(uint64_t items, uint64_t every) {
       "algorithms checkpoint almost for free; full snapshots pay state size "
       "every time");
   const uint64_t flows = 100000;
+
+  // Capture the workload to a binary trace and replay it from disk — the
+  // deployment shape (a monitor ingests a captured trace, and recovery
+  // replays the same trace's tail), and the path where a typo'd file name
+  // or truncated capture must fail loudly instead of running on zero
+  // items.
+  const std::string trace_path = "/tmp/fewstate_nvm_wear_ckpt.u64";
+  {
+    const Status written =
+        WriteTrace(trace_path, Materialize(ZipfSource(flows, 1.2, items,
+                                                      /*seed=*/55)));
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench_nvm_wear: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+  }
+
   std::printf("stream: %" PRIu64 " items over %" PRIu64
-              " flows (Zipf 1.2); checkpoint every %" PRIu64
+              " flows (Zipf 1.2), replayed from %s; checkpoint every %" PRIu64
               " items; S=1; direct-mapped checkpoint device\n\n",
-              items, flows, every);
+              items, flows, trace_path.c_str(), every);
   std::printf("%-18s %-6s %6s %6s %6s %14s %14s %10s\n", "sketch", "mode",
               "ckpts", "full", "delta", "ckpt_writes", "ckpt_max_wear",
               "ckpt_eol");
@@ -279,8 +309,10 @@ int RunCheckpoint(uint64_t items, uint64_t every) {
                            : CheckpointPolicy::Snapshot::kFull);
       std::unique_ptr<ShardedEngine> engine =
           MakeCheckpointEngine(factory, policy);
-      const ShardedRunReport report =
-          engine->Run(ZipfSource(flows, 1.2, items, /*seed=*/55));
+      FileSource trace(trace_path);
+      DieUnlessClean(trace);
+      const ShardedRunReport report = engine->Run(trace);
+      DieUnlessClean(trace);
       const ShardedSketchReport* row = report.Find(factory.name());
       std::printf("%-18s %-6s %6" PRIu64 " %6" PRIu64 " %6" PRIu64
                   " %14" PRIu64 " %14" PRIu64 " %10.4g\n",
@@ -317,7 +349,12 @@ int RunCheckpoint(uint64_t items, uint64_t every) {
     const ShardedSketchReport* row =
         delta_engine->last_report().Find(factory.name());
     const uint64_t cut = row->last_checkpoint_items[0];
-    GeneratorSource trace = ZipfSource(flows, 1.2, items, /*seed=*/55);
+    // Recovery replays the captured trace's tail, exactly as a real
+    // rebuild would — through a checked FileSource, so a trace that went
+    // missing or got truncated between the run and the crash is an error,
+    // not a silently short replay.
+    FileSource trace(trace_path);
+    DieUnlessClean(trace);
     std::vector<Item> scratch(4096);
     uint64_t skipped = 0;
     while (skipped < cut) {
@@ -327,6 +364,7 @@ int RunCheckpoint(uint64_t items, uint64_t every) {
       if (got == 0) break;
       skipped += got;
     }
+    DieUnlessClean(trace);
     RecoveryOptions recovery_options;
     recovery_options.price_replica_nvm = true;
     recovery_options.replica_nvm = SpecFor(NvmSpec::Leveling::kDirect);
@@ -358,6 +396,7 @@ int RunCheckpoint(uint64_t items, uint64_t every) {
       "(they re-dirty their whole state every interval) and far below 1 for\n"
       "the Morris-mode sketch — write frugality transfers to durability.\n"
       "recovery pays snapshot reads (no wear) + tail replay only.\n");
+  std::remove(trace_path.c_str());
   return 0;
 }
 

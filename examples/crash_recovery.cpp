@@ -72,8 +72,20 @@ int main() {
     if (!engine.AddSketch(factory).ok()) return 1;
   }
   {
+    // A typo'd trace path must not masquerade as an empty workload — the
+    // source carries an error channel precisely so callers can refuse.
     FileSource trace(trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "cannot open trace: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
     engine.Run(trace);
+    if (!trace.status().ok()) {
+      std::fprintf(stderr, "trace replay failed: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
   }
   const ShardedRunReport& report = engine.last_report();
   std::printf("=== run: %llu items, 2 shards, WriteBudget(800) delta "

@@ -32,6 +32,23 @@ if grep -rnE 'set_write_log\(' bench examples; then
   exit 1
 fi
 
+# Source-error gate: a `FileSource` constructed in examples/ must have its
+# error channel consulted in the same file (`.ok()` or `.status()`). An
+# unopenable or truncated trace must be a reported failure, never an
+# empty workload that silently "succeeds".
+filesource_gate_failed=0
+while IFS=: read -r file line decl; do
+  var=$(printf '%s' "$decl" | sed -nE 's/.*FileSource[[:space:]]+([A-Za-z_][A-Za-z0-9_]*)[[:space:]]*[({].*/\1/p')
+  [ -n "$var" ] || continue
+  if ! grep -qE "\b${var}\.(ok|status)\(" "$file"; then
+    echo "check.sh: $file:$line constructs FileSource '$var' without checking ${var}.ok()/${var}.status() — a bad trace path must fail loudly" >&2
+    filesource_gate_failed=1
+  fi
+done < <(grep -rnE '\bFileSource[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]' examples || true)
+if [ "$filesource_gate_failed" -ne 0 ]; then
+  exit 1
+fi
+
 # Docs gate 1: every src/ subsystem directory must appear in the README
 # and docs/ARCHITECTURE.md subsystem tables — a new subsystem lands with
 # its documentation or not at all.

@@ -1,7 +1,9 @@
 #include "api/item_source.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
+#include <limits>
 
 namespace fewstate {
 
@@ -67,16 +69,30 @@ size_t GeneratorSource::NextBatch(Item* out, size_t cap) {
 
 FileSource::FileSource(const std::string& path) {
   file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) return;
+  if (file_ == nullptr) {
+    status_ = Status::Internal("FileSource: cannot open '" + path + "': " +
+                               std::strerror(errno));
+    return;
+  }
   if (std::fseek(file_, 0, SEEK_END) == 0) {
     const long bytes = std::ftell(file_);
     if (bytes >= 0 && std::fseek(file_, 0, SEEK_SET) == 0) {
       remaining_ = static_cast<uint64_t>(bytes) / sizeof(Item);
       size_known_ = true;
+      // A byte length that is not a whole number of records means the
+      // trace was truncated mid-record (or is not a trace at all) —
+      // surface it up front rather than replaying a short tail as clean.
+      if (static_cast<uint64_t>(bytes) % sizeof(Item) != 0) {
+        status_ = Status::Internal(
+            "FileSource: '" + path + "' is " + std::to_string(bytes) +
+            " bytes — not a whole number of 8-byte records (truncated "
+            "trace?)");
+      }
     }
   }
   // A non-seekable stream (pipe/fifo) still reads fine; it is just
-  // unsized.
+  // unsized. Its trailing partial record, if any, is caught at EOF in
+  // NextBatch.
 }
 
 FileSource::~FileSource() {
@@ -85,14 +101,32 @@ FileSource::~FileSource() {
 
 size_t FileSource::NextBatch(Item* out, size_t cap) {
   if (file_ == nullptr || cap == 0) return 0;
-  const size_t got = std::fread(out, sizeof(Item), cap, file_);
+  // Byte-granular read so a trailing partial record is visible (an
+  // element-granular fread would silently round it away).
+  const size_t want_bytes = cap * sizeof(Item);
+  const size_t got_bytes =
+      std::fread(reinterpret_cast<char*>(out), 1, want_bytes, file_);
+  const size_t got = got_bytes / sizeof(Item);
+  if (got_bytes < want_bytes && status_.ok()) {
+    if (std::ferror(file_) != 0) {
+      status_ = Status::Internal(
+          "FileSource: read error mid-replay (ferror set) — the stream "
+          "ended early, not cleanly");
+    } else if (got_bytes % sizeof(Item) != 0) {
+      status_ = Status::Internal(
+          "FileSource: trailing partial record at end of trace "
+          "(truncated capture?)");
+    }
+  }
   remaining_ -= std::min<uint64_t>(remaining_, got);
   return got;
 }
 
 std::optional<uint64_t> FileSource::SizeHint() const {
-  if (file_ == nullptr) return 0;  // unopenable: known-empty, not unsized
-  if (!size_known_) return std::nullopt;
+  // Unopenable or non-seekable: the size is unknown. In particular a bad
+  // path must not report "0 items left" — that is indistinguishable from
+  // a legitimately empty trace and breeds silent zero-item runs.
+  if (file_ == nullptr || !size_known_) return std::nullopt;
   return remaining_;
 }
 
@@ -129,9 +163,21 @@ std::optional<uint64_t> ConcatSource::SizeHint() const {
   for (size_t i = current_; i < sources_.size(); ++i) {
     const std::optional<uint64_t> hint = sources_[i]->SizeHint();
     if (!hint) return std::nullopt;
+    // A sum that would wrap is unknown, not a small number.
+    if (*hint > std::numeric_limits<uint64_t>::max() - total) {
+      return std::nullopt;
+    }
     total += *hint;
   }
   return total;
+}
+
+Status ConcatSource::status() const {
+  for (const ItemSource* s : sources_) {
+    Status st = s->status();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 // --- InterleaveSource
@@ -139,6 +185,7 @@ std::optional<uint64_t> ConcatSource::SizeHint() const {
 InterleaveSource::InterleaveSource(std::vector<ItemSource*> sources,
                                    size_t chunk_items)
     : sources_(std::move(sources)),
+      all_(sources_),
       chunk_items_(chunk_items == 0 ? 1 : chunk_items),
       chunk_left_(chunk_items_) {}
 
@@ -169,9 +216,24 @@ std::optional<uint64_t> InterleaveSource::SizeHint() const {
   for (const ItemSource* s : sources_) {
     const std::optional<uint64_t> hint = s->SizeHint();
     if (!hint) return std::nullopt;
+    // A sum that would wrap is unknown, not a small number.
+    if (*hint > std::numeric_limits<uint64_t>::max() - total) {
+      return std::nullopt;
+    }
     total += *hint;
   }
   return total;
+}
+
+Status InterleaveSource::status() const {
+  // Scan every composed source, not just the live rotation: a failed
+  // source returns 0 from NextBatch and gets dropped exactly like one
+  // that ended cleanly, so the rotation alone cannot testify.
+  for (const ItemSource* s : all_) {
+    Status st = s->status();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 }  // namespace fewstate

@@ -41,6 +41,15 @@ class ItemSource {
   /// `nullopt` means unsized (a live feed with no declared horizon) —
   /// consumers must not require it for correctness or termination.
   virtual std::optional<uint64_t> SizeHint() const { return std::nullopt; }
+
+  /// \brief The source's error state. `NextBatch` returning 0 means only
+  /// "no more items" — it cannot distinguish a clean end-of-stream from an
+  /// unopenable file or a mid-stream read failure, so a consumer that
+  /// cares whether the stream it drained was the *whole* stream must
+  /// check `status()` after the drain (and before trusting a zero-item
+  /// run). OK for in-memory and generator sources; adapters report the
+  /// first failure they saw and composites propagate their children's.
+  virtual Status status() const { return Status::OK(); }
 };
 
 /// \brief Default pull granularity of the library's drains (`StreamEngine`
@@ -131,21 +140,30 @@ class GeneratorSource : public ItemSource {
 class FileSource : public ItemSource {
  public:
   /// \brief Opens the trace at `path`; check `ok()` before relying on
-  /// any items.
+  /// any items. An unopenable path, a trace whose byte length is not a
+  /// whole number of records, or a read failure mid-replay all surface
+  /// through `ok()`/`status()` — never as a silent short or empty stream.
   explicit FileSource(const std::string& path);
   ~FileSource() override;
   FileSource(const FileSource&) = delete;
   FileSource& operator=(const FileSource&) = delete;
 
-  /// \brief False iff the file could not be opened (such a source is
-  /// permanently at end-of-stream).
-  bool ok() const { return file_ != nullptr; }
+  /// \brief False iff the source has seen any failure: unopenable path,
+  /// truncated trace (trailing partial record), or stream read error.
+  bool ok() const { return status_.ok(); }
 
-  /// \brief Reads up to `cap` u64 records from the file.
+  /// \brief The first failure seen, with the path and cause; OK while the
+  /// replay is clean.
+  Status status() const override { return status_; }
+
+  /// \brief Reads up to `cap` u64 records from the file. A truncated
+  /// trailing record or `std::ferror` on the stream sets `status()` — EOF
+  /// and failure are not conflated.
   size_t NextBatch(Item* out, size_t cap) override;
 
   /// \brief Records remaining when the file is seekable; nullopt for
-  /// pipes/fifos (unsized, not "0 left").
+  /// pipes/fifos and for unopenable paths (unknown, not "0 left" — a bad
+  /// path must not masquerade as a known-empty stream).
   std::optional<uint64_t> SizeHint() const override;
 
  private:
@@ -154,6 +172,7 @@ class FileSource : public ItemSource {
   // False when the record count could not be determined up front (e.g. a
   // non-seekable pipe): SizeHint() is then nullopt, not a false "0 left".
   bool size_known_ = false;
+  Status status_;  // first failure wins; OK initially
 };
 
 /// \brief Writes `stream` as the binary record format `FileSource` reads
@@ -174,8 +193,12 @@ class ConcatSource : public ItemSource {
   size_t NextBatch(Item* out, size_t cap) override;
 
   /// \brief Sum of the segments' hints; nullopt if any segment is
-  /// unsized.
+  /// unsized or the sum would overflow uint64 (unknown, not wrapped).
   std::optional<uint64_t> SizeHint() const override;
+
+  /// \brief The first non-OK status among the segments (including
+  /// already-drained ones), else OK.
+  Status status() const override;
 
  private:
   std::vector<ItemSource*> sources_;
@@ -194,11 +217,18 @@ class InterleaveSource : public ItemSource {
   /// \brief Pulls the rotation's next chunk(s), dropping ended sources.
   size_t NextBatch(Item* out, size_t cap) override;
 
-  /// \brief Sum of the live sources' hints; nullopt if any is unsized.
+  /// \brief Sum of the live sources' hints; nullopt if any is unsized or
+  /// the sum would overflow uint64 (unknown, not wrapped).
   std::optional<uint64_t> SizeHint() const override;
+
+  /// \brief The first non-OK status among *all* composed sources — a
+  /// source that failed mid-stream leaves the rotation like one that
+  /// ended, but its failure still surfaces here.
+  Status status() const override;
 
  private:
   std::vector<ItemSource*> sources_;  // live sources, rotation order
+  std::vector<ItemSource*> all_;      // every composed source, for status()
   size_t chunk_items_;
   size_t current_ = 0;
   size_t chunk_left_;
@@ -219,6 +249,10 @@ class UnsizedSource : public ItemSource {
   }
   /// \brief Always nullopt — the decorator's whole point.
   std::optional<uint64_t> SizeHint() const override { return std::nullopt; }
+
+  /// \brief Forwards to the inner source (errors are not hidden, only the
+  /// size is).
+  Status status() const override { return inner_->status(); }
 
  private:
   ItemSource* inner_;

@@ -73,17 +73,35 @@ std::string RunReport::ToString() const {
 std::string RunReport::CsvHeader() {
   return "label,sketch,updates,state_changes,word_writes,suppressed_writes,"
          "word_reads,peak_words,wall_seconds,nvm_writes,nvm_max_wear,"
-         "nvm_energy_nj,nvm_replays_to_eol,nvm_dropped,ckpt_full,ckpt_delta";
+         "nvm_energy_nj,nvm_replays_to_eol,nvm_dropped,ckpt_full,ckpt_delta,"
+         "ckpt_published";
 }
+
+namespace {
+
+// A caller-supplied label (or a sketch name built from one) containing a
+// comma, quote or line break would shift or split every downstream CSV
+// column; neuter those characters rather than emit a malformed row.
+std::string CsvSanitize(const std::string& field) {
+  std::string out = field;
+  for (char& c : out) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string SketchReportCsvRow(const std::string& label,
                                const std::string& sketch,
                                const SketchRunReport& row) {
+  const std::string safe_label = CsvSanitize(label);
+  const std::string safe_sketch = CsvSanitize(sketch);
   char line[512];
   std::snprintf(line, sizeof(line),
                 "%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,%llu,%llu,%.6g,"
-                "%.6g,%llu,%llu,%llu",
-                label.c_str(), sketch.c_str(),
+                "%.6g,%llu,%llu,%llu,%llu",
+                safe_label.c_str(), safe_sketch.c_str(),
                 static_cast<unsigned long long>(row.updates),
                 static_cast<unsigned long long>(row.state_changes),
                 static_cast<unsigned long long>(row.word_writes),
@@ -101,7 +119,8 @@ std::string SketchReportCsvRow(const std::string& label,
                 static_cast<unsigned long long>(
                     row.has_nvm ? row.nvm.dropped_writes : 0),
                 static_cast<unsigned long long>(row.full_checkpoints),
-                static_cast<unsigned long long>(row.delta_checkpoints));
+                static_cast<unsigned long long>(row.delta_checkpoints),
+                static_cast<unsigned long long>(row.snapshots_published));
   return line;
 }
 

@@ -41,6 +41,10 @@ struct SketchRunReport {
   /// the previous checkpoint). Their sum is the row's checkpoint count.
   uint64_t full_checkpoints = 0;
   uint64_t delta_checkpoints = 0;
+  /// Checkpoint rows of serving runs only (0 elsewhere): snapshots
+  /// published to the lock-free serving slots for concurrent readers
+  /// (`ShardedEngineOptions::serve_snapshots`).
+  uint64_t snapshots_published = 0;
 };
 
 /// \brief Outcome of one `StreamEngine::Run`: one entry per registered
@@ -63,7 +67,8 @@ struct RunReport {
   /// \brief Column header shared by all report CSV emitters:
   /// `label,sketch,updates,state_changes,word_writes,suppressed_writes,
   /// word_reads,peak_words,wall_seconds,nvm_writes,nvm_max_wear,
-  /// nvm_energy_nj,nvm_replays_to_eol,nvm_dropped,ckpt_full,ckpt_delta`
+  /// nvm_energy_nj,nvm_replays_to_eol,nvm_dropped,ckpt_full,ckpt_delta,
+  /// ckpt_published`
   /// (the nvm columns are 0 for rows without an attached device; the ckpt
   /// columns are 0 outside `[checkpoint]` rows).
   static std::string CsvHeader();
@@ -75,7 +80,9 @@ struct RunReport {
 };
 
 /// \brief One `CsvHeader()`-shaped CSV row (used by both engines' report
-/// emitters).
+/// emitters). The `label` and `sketch` fields are sanitized: any comma,
+/// quote or line break becomes `_`, so a caller-supplied label can never
+/// shift or split downstream columns.
 std::string SketchReportCsvRow(const std::string& label,
                                const std::string& sketch,
                                const SketchRunReport& row);

@@ -95,8 +95,19 @@ Status RecoverReplica(const SketchFactory& factory, const Sketch& snapshot,
 
   // Phase 2 — replay the tail: the items the crashed shard ingested after
   // its last checkpoint, replayed through the ordinary update path (and
-  // priced like one).
+  // priced like one). A tail source in error state (unopenable trace,
+  // truncated capture, mid-read failure) means the replica was rebuilt
+  // from a *short* tail — state silently short of the crash point — so
+  // the whole recovery is untrustworthy and must fail, not report
+  // success.
   result.report.tail_items = result.sketch->Drain(trace_tail);
+  const Status tail_status = trace_tail.status();
+  if (!tail_status.ok()) {
+    return Status::Internal(
+        "RecoverReplica: trace tail for '" + factory.name() +
+        "' did not replay cleanly — rebuilt state would be short of the "
+        "crash point: " + tail_status.message());
+  }
   const AccountantSnapshot after_replay =
       AccountantSnapshot::Of(result.sketch->accountant());
   result.report.replay = after_restore.DeltaTo(after_replay);

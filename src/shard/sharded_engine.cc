@@ -91,6 +91,14 @@ struct CkptTrack {
   uint64_t taken = 0;
   uint64_t full = 0;
   uint64_t delta = 0;
+  uint64_t published = 0;  // snapshots handed to the serving slot
+  // Delta-mode serving buffers: the persistent base snapshot is mutated
+  // in place by the next delta, so publication serves a copy. Two buffers
+  // alternate; the spare (unpublished) one is reused only when no reader
+  // still pins it (use_count() == 1 — safe to test, since a buffer out of
+  // the slot can gain no new references).
+  std::shared_ptr<Sketch> serve_bufs[2];
+  int serve_cur = 0;  // index of the most recently published buffer
   SketchRunReport acc;  // accumulated snapshot accountant deltas
 };
 
@@ -139,12 +147,13 @@ std::string ShardedRunReport::ToString() const {
     if (s.checkpoints_taken > 0) {
       std::snprintf(
           line, sizeof(line),
-          "    checkpoints=%-4llu (full=%llu delta=%llu) "
+          "    checkpoints=%-4llu (full=%llu delta=%llu published=%llu) "
           "snapshot_writes=%-10llu ckpt_nvm_max_wear=%-8llu "
           "ckpt_replays_to_eol=%.4g\n",
           static_cast<unsigned long long>(s.checkpoints_taken),
           static_cast<unsigned long long>(s.checkpoint.full_checkpoints),
           static_cast<unsigned long long>(s.checkpoint.delta_checkpoints),
+          static_cast<unsigned long long>(s.snapshots_published),
           static_cast<unsigned long long>(s.checkpoint.word_writes),
           static_cast<unsigned long long>(s.checkpoint.nvm.max_cell_wear),
           s.checkpoint.nvm.projected_stream_replays_to_failure);
@@ -220,6 +229,21 @@ ShardedEngine::ShardedEngine(const ShardedEngineOptions& options)
       std::abort();
     }
   }
+  // Serving publishes checkpoints; without a schedule nothing would ever
+  // be published, which is a silently-empty view — a setup error.
+  if (options_.serve_snapshots && !policy_.enabled()) {
+    std::fprintf(stderr,
+                 "ShardedEngine: serve_snapshots requires an enabled "
+                 "checkpoint_policy (nothing publishes without "
+                 "checkpoints)\n");
+    std::abort();
+  }
+  // Stable heap address: ServingHandles point at this array for the
+  // engine's lifetime.
+  shard_progress_.reset(new std::atomic<uint64_t>[options_.shards]);
+  for (size_t s = 0; s < options_.shards; ++s) {
+    shard_progress_[s].store(0, std::memory_order_relaxed);
+  }
 }
 
 Status ShardedEngine::AddSketch(SketchFactory factory) {
@@ -255,6 +279,10 @@ Status ShardedEngine::AddSketchEntry(SketchFactory factory, bool has_nvm,
   const bool restorable = IsRestorable(*probe);
   Entry entry{std::move(factory), mergeable, restorable, has_nvm, nvm_spec};
   entries_.push_back(std::move(entry));
+  // Publication slots live at a stable heap address from registration on,
+  // so ServingHandles obtained before any Run stay valid for the engine's
+  // lifetime.
+  serving_.push_back(std::make_unique<SketchServingSlots>(options_.shards));
   return Status::OK();
 }
 
@@ -307,6 +335,12 @@ LiveNvmSink* ShardedEngine::CheckpointSink(size_t shard,
   return ckpt_sinks_[shard][i].get();
 }
 
+ServingHandle ShardedEngine::Serving(const std::string& name) const {
+  const size_t i = IndexOf(name);
+  if (i >= entries_.size()) return ServingHandle();
+  return ServingHandle(serving_[i].get(), shard_progress_.get());
+}
+
 ShardedRunReport ShardedEngine::Run(const Stream& stream) {
   VectorSource source(stream);
   return Run(source);
@@ -324,6 +358,20 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   report.sketches.resize(num_sketches);
 
   const bool checkpointing = policy_.enabled();
+  const bool serving = options_.serve_snapshots;
+
+  // A new run starts from zero published state: clear every publication
+  // slot and progress counter. Readers holding views from a previous run
+  // keep their snapshots alive through their own shared_ptrs.
+  for (size_t i = 0; i < num_sketches; ++i) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      std::atomic_store(&serving_[i]->slots[s],
+                        std::shared_ptr<const ShardSnapshot>());
+    }
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_progress_[s].store(0, std::memory_order_release);
+  }
 
   // Fresh replicas: a sharded run consumes its replicas by merging them.
   // Entries with an NVM spec get one live device per replica; entries the
@@ -424,8 +472,8 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   // just the words the `DirtyTracker` saw change, which for the paper's
   // write-frugal sketches is a tiny fraction of state. Runs on shard s's
   // worker thread only; per-(s, i) state keeps workers independent.
-  auto take_checkpoint = [this](size_t s, size_t i, CkptTrack* track,
-                                uint64_t processed) {
+  auto take_checkpoint = [this, serving](size_t s, size_t i, CkptTrack* track,
+                                         uint64_t processed) {
     const Entry& e = entries_[i];
     Sketch* live = replicas_[s][i].get();
     DirtyTracker* dirty = dirty_[s][i].get();
@@ -488,14 +536,51 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
     if (dirty != nullptr) dirty->ClearDirty();
     track->writes_at_last = live->accountant().word_writes();
     track->items_at_last = processed;
+    if (!serving) return;
+    // Publish the checkpoint for concurrent readers. Whenever the
+    // checkpoint minted a fresh snapshot object that nothing will mutate
+    // again — every checkpoint outside (kDelta && restorable) — publish
+    // it directly, zero-copy. In delta mode the base snapshot is the
+    // mutation target of the *next* delta, so serve a double-buffered
+    // copy instead and price it as bulk reads of the checkpoint region
+    // (serving re-reads durable state; reads cost energy, never wear).
+    std::shared_ptr<const Sketch> to_publish;
+    const bool base_is_mutable =
+        policy_.snapshot == CheckpointPolicy::Snapshot::kDelta && e.restorable;
+    if (!base_is_mutable) {
+      to_publish = snapshots_[s][i];
+    } else {
+      std::shared_ptr<Sketch>& spare = track->serve_bufs[track->serve_cur ^ 1];
+      if (spare == nullptr || spare.use_count() > 1) {
+        spare = e.factory.Make();
+      }
+      const Status status = AsRestorable(spare.get())->RestoreFrom(*live);
+      if (!status.ok()) {
+        std::fprintf(stderr,
+                     "ShardedEngine::Run: serving copy of '%s' failed: %s\n",
+                     e.factory.name().c_str(), status.ToString().c_str());
+        std::abort();
+      }
+      ckpt_sinks_[s][i]->OnBulkReads(
+          snapshots_[s][i]->accountant().allocated_words());
+      track->serve_cur ^= 1;
+      to_publish = spare;
+    }
+    auto published = std::make_shared<ShardSnapshot>();
+    published->sketch = std::move(to_publish);
+    published->items_at_checkpoint = processed;
+    published->sequence = track->taken;
+    std::atomic_store(&serving_[i]->slots[s],
+                      std::shared_ptr<const ShardSnapshot>(std::move(published)));
+    ++track->published;
   };
 
   const Clock::time_point ingest_start = Clock::now();
   std::vector<std::thread> workers;
   workers.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    workers.emplace_back([this, s, num_sketches, checkpointing, &queues,
-                          &busy, &ckpt, &take_checkpoint] {
+    workers.emplace_back([this, s, num_sketches, checkpointing, serving,
+                          &queues, &busy, &ckpt, &take_checkpoint] {
       Stream batch;
       uint64_t processed = 0;
       while (queues[s]->Pop(&batch)) {
@@ -508,12 +593,19 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
           for (Item item : batch) sketch->Update(item);
           busy[s][i] += Seconds(t0, Clock::now());
         }
+        processed += batch.size();
+        // Publish ingest progress *before* evaluating checkpoints, with
+        // release order: any snapshot published below carries
+        // items_at_checkpoint <= this store, so a reader loading slots
+        // then progress never computes negative staleness.
+        if (serving) {
+          shard_progress_[s].store(processed, std::memory_order_release);
+        }
         if (!checkpointing) continue;
         // Checkpoint triggers are evaluated at batch boundaries —
         // deterministic for a fixed source/seed/S, since the
         // partitioner's batch splits, each shard's item sequence, and
         // therefore each replica's write counts and dirty sets all are.
-        processed += batch.size();
         for (size_t i = 0; i < num_sketches; ++i) {
           if (ckpt_sinks_[s][i] == nullptr) continue;  // not checkpointable
           CkptTrack* track = &ckpt[s][i];
@@ -642,6 +734,8 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
         sk.checkpoints_taken += track.taken;
         sk.checkpoint.full_checkpoints += track.full;
         sk.checkpoint.delta_checkpoints += track.delta;
+        sk.snapshots_published += track.published;
+        sk.checkpoint.snapshots_published += track.published;
         sk.last_checkpoint_items[s] = track.items_at_last;
         ckpt_sinks_[s][i]->Flush();  // end-of-phase barrier (sink contract)
         devices.push_back(ckpt_sinks_[s][i]->Report());

@@ -1,6 +1,7 @@
 #ifndef FEWSTATE_SHARD_SHARDED_ENGINE_H_
 #define FEWSTATE_SHARD_SHARDED_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -15,6 +16,7 @@
 #include "recover/checkpoint_policy.h"
 #include "recover/restorable.h"
 #include "shard/sketch_factory.h"
+#include "shard/snapshot_serving.h"
 #include "state/dirty_tracker.h"
 
 namespace fewstate {
@@ -60,6 +62,21 @@ struct ShardedEngineOptions {
   /// construction when checkpointing is enabled; an invalid spec is a
   /// fatal setup error (like invalid registration).
   NvmSpec checkpoint_nvm;
+  /// Publish each (shard, sketch) checkpoint for lock-free concurrent
+  /// reads: after a checkpoint lands, the worker swaps an immutable
+  /// `ShardSnapshot` into the sketch's per-shard publication slot, and
+  /// reader threads holding a `ServingHandle` (see `Serving`) acquire
+  /// point-in-time views during the run with zero worker coordination.
+  /// Requires `checkpoint_policy` (nothing publishes without
+  /// checkpoints). In `Snapshot::kFull` mode publication is free — the
+  /// freshly-minted snapshot replica is published as-is; in
+  /// `Snapshot::kDelta` mode the persistent base snapshot is mutated in
+  /// place by design, so the worker serves a double-buffered copy of it
+  /// and prices the copy as bulk reads of the checkpoint region (reads
+  /// cost energy, not wear — the same pricing recovery uses for snapshot
+  /// loads). Off by default: non-serving runs are bit-identical to
+  /// pre-serving behaviour.
+  bool serve_snapshots = false;
 };
 
 /// \brief Per-sketch outcome of one `ShardedEngine::Run`.
@@ -87,6 +104,10 @@ struct ShardedSketchReport {
   SketchRunReport checkpoint;
   /// Snapshots taken across all shards (full + delta).
   uint64_t checkpoints_taken = 0;
+  /// Snapshots published for concurrent serving across all shards (0
+  /// unless `ShardedEngineOptions::serve_snapshots`). Equal to
+  /// `checkpoints_taken` when serving: every checkpoint publishes.
+  uint64_t snapshots_published = 0;
   /// Per shard: items that shard had ingested at its most recent
   /// checkpoint of this sketch (0 if it never checkpointed). Recovery
   /// replays the trace suffix past this point — the repo's RPO marker.
@@ -229,6 +250,17 @@ class ShardedEngine {
   /// checkpointing was off for that entry. Valid until the next `Run`.
   LiveNvmSink* CheckpointSink(size_t shard, const std::string& name) const;
 
+  /// \brief Lock-free reader handle for `name`'s published snapshots
+  /// (invalid handle for unknown names — check `ok()`). Acquire it before
+  /// starting `Run` and hand it to query threads: `Acquire()` returns a
+  /// consistent point-in-time `SnapshotView` at any moment during or
+  /// after the run. Views are empty unless the engine runs with
+  /// `serve_snapshots` and a checkpoint policy. The handle stays valid
+  /// for the engine's lifetime, across `Run` calls (each `Run` clears the
+  /// publication slots at start; views already acquired keep their
+  /// snapshots alive independently).
+  ServingHandle Serving(const std::string& name) const;
+
   /// \brief The report of the most recent `Run` (empty before the first).
   const ShardedRunReport& last_report() const { return last_report_; }
 
@@ -270,8 +302,21 @@ class ShardedEngine {
   std::vector<std::vector<std::unique_ptr<Sketch>>> replicas_;
   // snapshots_[shard][sketch]: the most recent checkpoint of each replica
   // (persistent across a shard's checkpoints in delta mode; replaced
-  // wholesale by full snapshots). Kept after Run for recovery.
-  std::vector<std::vector<std::unique_ptr<Sketch>>> snapshots_;
+  // wholesale by full snapshots). Kept after Run for recovery. Shared
+  // because full-mode serving publishes these objects directly — a
+  // reader's view may pin a superseded snapshot past the next checkpoint
+  // (or the next Run), and the control block keeps it alive.
+  std::vector<std::vector<std::shared_ptr<Sketch>>> snapshots_;
+  // serving_[sketch]: per-shard publication slots, created at AddSketch
+  // and never moved (ServingHandles point at them for the engine's
+  // lifetime). Written by shard workers via std::atomic_store when
+  // options_.serve_snapshots; read by any thread via std::atomic_load.
+  std::vector<std::unique_ptr<SketchServingSlots>> serving_;
+  // shard_progress_[shard]: items the shard's worker has ingested this
+  // Run, stored with release order before checkpoint evaluation so a
+  // published snapshot's items_at_checkpoint is never ahead of it.
+  // Heap array at a stable address for the same handle-lifetime reason.
+  std::unique_ptr<std::atomic<uint64_t>[]> shard_progress_;
   ShardedRunReport last_report_;
 };
 

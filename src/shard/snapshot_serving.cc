@@ -1,0 +1,73 @@
+#include "shard/snapshot_serving.h"
+
+namespace fewstate {
+
+SnapshotView ServingHandle::Acquire() const {
+  SnapshotView view;
+  if (slots_ == nullptr) return view;
+  const size_t shards = slots_->slots.size();
+  view.shards_.resize(shards);
+  view.progress_.resize(shards, 0);
+  // Slots first, progress second. A worker stores progress (release)
+  // *before* publishing the checkpoint that covers it, so loading in the
+  // opposite order guarantees progress >= items_at_checkpoint for every
+  // slot we see — staleness can read high (a racing batch), never
+  // negative.
+  for (size_t s = 0; s < shards; ++s) {
+    view.shards_[s] = std::atomic_load(&slots_->slots[s]);
+  }
+  for (size_t s = 0; s < shards; ++s) {
+    view.progress_[s] = progress_[s].load(std::memory_order_acquire);
+  }
+  return view;
+}
+
+double SnapshotView::EstimateFrequency(Item item) const {
+  double total = 0.0;
+  for (const std::shared_ptr<const ShardSnapshot>& shard : shards_) {
+    if (shard != nullptr && shard->sketch != nullptr) {
+      total += shard->sketch->EstimateFrequency(item);
+    }
+  }
+  return total;
+}
+
+size_t SnapshotView::shards_published() const {
+  size_t published = 0;
+  for (const std::shared_ptr<const ShardSnapshot>& shard : shards_) {
+    if (shard != nullptr && shard->sketch != nullptr) ++published;
+  }
+  return published;
+}
+
+uint64_t SnapshotView::items_behind() const {
+  uint64_t behind = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const uint64_t at_checkpoint =
+        shards_[s] != nullptr ? shards_[s]->items_at_checkpoint : 0;
+    // Saturate: a view acquired across a Run restart can pair a fresh
+    // (reset) progress counter with an old slot.
+    if (progress_[s] > at_checkpoint) behind += progress_[s] - at_checkpoint;
+  }
+  return behind;
+}
+
+uint64_t SnapshotView::items_visible() const {
+  uint64_t visible = 0;
+  for (const std::shared_ptr<const ShardSnapshot>& shard : shards_) {
+    if (shard != nullptr) visible += shard->items_at_checkpoint;
+  }
+  return visible;
+}
+
+const Sketch* SnapshotView::shard_sketch(size_t s) const {
+  if (s >= shards_.size() || shards_[s] == nullptr) return nullptr;
+  return shards_[s]->sketch.get();
+}
+
+const ShardSnapshot* SnapshotView::shard_snapshot(size_t s) const {
+  if (s >= shards_.size()) return nullptr;
+  return shards_[s].get();
+}
+
+}  // namespace fewstate

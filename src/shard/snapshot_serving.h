@@ -1,0 +1,157 @@
+#ifndef FEWSTATE_SHARD_SNAPSHOT_SERVING_H_
+#define FEWSTATE_SHARD_SNAPSHOT_SERVING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "api/sketch.h"
+#include "common/stream_types.h"
+
+namespace fewstate {
+
+/// \brief One published (shard, sketch) checkpoint: an immutable sketch
+/// replica plus the point-in-time metadata a reader needs to reason about
+/// it.
+///
+/// Publication freezes the triple atomically — the sketch pointer, the
+/// shard's item count at the checkpoint, and the checkpoint ordinal all
+/// travel in one `shared_ptr` swap — so a reader can never observe a
+/// sketch paired with another checkpoint's metadata. The referenced
+/// sketch is immutable from publication onward (the engine's delta
+/// machinery never overwrites a published replica; see
+/// `ShardedEngineOptions::serve_snapshots`), which is what makes
+/// concurrent `EstimateFrequency` calls race-free without any reader-side
+/// locking.
+struct ShardSnapshot {
+  /// Crash-consistent replica of one shard's sketch at the checkpoint.
+  std::shared_ptr<const Sketch> sketch;
+  /// Items this shard had ingested when the checkpoint was taken — the
+  /// view's per-shard freshness marker (compare with the shard's live
+  /// ingest progress for staleness).
+  uint64_t items_at_checkpoint = 0;
+  /// 1-based checkpoint ordinal on this (shard, sketch) pair.
+  uint64_t sequence = 0;
+};
+
+/// \brief Internal publication state for one registered sketch: one
+/// atomic `shared_ptr` slot per shard plus a borrowed view of the
+/// engine's per-shard ingest progress counters.
+///
+/// Slots are written by shard workers (`std::atomic_store` on the
+/// `shared_ptr`) and read by any number of query threads
+/// (`std::atomic_load`) with zero coordination: a swap publishes, a load
+/// acquires, and the `shared_ptr` control block keeps superseded
+/// snapshots alive for exactly as long as some reader still holds them.
+/// Owned by `ShardedEngine` at a stable heap address, so `ServingHandle`s
+/// stay valid across `Run` calls for the engine's lifetime.
+struct SketchServingSlots {
+  explicit SketchServingSlots(size_t shards) : slots(shards) {}
+  /// Per-shard publication slot; null until the shard's first checkpoint.
+  std::vector<std::shared_ptr<const ShardSnapshot>> slots;
+};
+
+/// \brief A consistent point-in-time view over the S published shard
+/// snapshots of one sketch — the object a query thread actually holds.
+///
+/// Acquired from `ServingHandle::Acquire()`. Each shard's entry is
+/// crash-consistent (it *is* that shard's last durability checkpoint) and
+/// immutable, so the view answers queries at a fixed point in the past
+/// while ingest races ahead. Cross-shard, the entries need not be from
+/// the same instant — partitioning is by item identity, so every
+/// occurrence of an item lives on exactly one shard, and summing per-shard
+/// estimates remains a valid estimate of the whole stream seen so far
+/// (each shard contributes its own prefix).
+///
+/// The view owns `shared_ptr` references: it stays valid (and its answers
+/// stay bit-stable) for as long as the caller holds it, however many
+/// checkpoints the engine publishes meanwhile.
+class SnapshotView {
+ public:
+  SnapshotView() = default;
+
+  /// \brief Sum of the published shards' point estimates for `item`. A
+  /// shard that has not yet published contributes nothing (its items are
+  /// not yet visible at all) — check `complete()` when that matters.
+  double EstimateFrequency(Item item) const;
+
+  /// \brief Shard count of the serving engine (0 for a default-constructed
+  /// or invalid-handle view).
+  size_t shards() const { return shards_.size(); }
+
+  /// \brief Shards that have published at least one checkpoint.
+  size_t shards_published() const;
+
+  /// \brief True iff every shard has published (the view covers a prefix
+  /// of every shard's substream).
+  bool complete() const { return shards_published() == shards(); }
+
+  /// \brief Staleness in items: sum over shards of (items the shard had
+  /// ingested when the view was acquired − items at the shard's published
+  /// checkpoint). This is exactly the data that exists in the engine but
+  /// is not yet visible to this view — bounded by the `CheckpointPolicy`
+  /// cadence (plus one partition batch per shard).
+  uint64_t items_behind() const;
+
+  /// \brief Sum over shards of the published checkpoints' item counts —
+  /// the number of stream items the view actually answers for.
+  uint64_t items_visible() const;
+
+  /// \brief Shard `s`'s published snapshot sketch (for queries beyond
+  /// point estimates, e.g. per-shard heavy-hitter scans), or nullptr if
+  /// that shard has not published.
+  const Sketch* shard_sketch(size_t s) const;
+
+  /// \brief Shard `s`'s snapshot metadata, or nullptr.
+  const ShardSnapshot* shard_snapshot(size_t s) const;
+
+  /// \brief Items shard `s` had ingested when this view was acquired.
+  uint64_t shard_progress(size_t s) const { return progress_[s]; }
+
+ private:
+  friend class ServingHandle;
+
+  std::vector<std::shared_ptr<const ShardSnapshot>> shards_;
+  // Per-shard ingest progress sampled at acquire time (after the slot
+  // loads, so progress >= items_at_checkpoint modulo run restarts; the
+  // staleness arithmetic saturates regardless).
+  std::vector<uint64_t> progress_;
+};
+
+/// \brief Lock-free reader entry point for one sketch served by a
+/// `ShardedEngine` — cheap to copy, safe to use from any thread, valid
+/// for the engine's lifetime.
+///
+/// Obtain one with `ShardedEngine::Serving(name)` *before* starting the
+/// run whose checkpoints it should observe, hand it to query threads, and
+/// call `Acquire()` whenever a fresh consistent view is wanted. Acquiring
+/// never blocks ingest: it is S `shared_ptr` atomic loads plus S relaxed
+/// counter reads, with no engine-level lock anywhere on the path.
+class ServingHandle {
+ public:
+  /// \brief An invalid handle; `ok()` is false and `Acquire()` returns an
+  /// empty view.
+  ServingHandle() = default;
+
+  /// \brief True iff the handle is bound to a registered sketch.
+  bool ok() const { return slots_ != nullptr; }
+
+  /// \brief Snapshots the current published state of every shard into a
+  /// `SnapshotView`. Thread-safe; never blocks workers.
+  SnapshotView Acquire() const;
+
+ private:
+  friend class ShardedEngine;
+
+  ServingHandle(const SketchServingSlots* slots,
+                const std::atomic<uint64_t>* progress)
+      : slots_(slots), progress_(progress) {}
+
+  const SketchServingSlots* slots_ = nullptr;      // owned by the engine
+  const std::atomic<uint64_t>* progress_ = nullptr;  // [shards] array
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_SHARD_SNAPSHOT_SERVING_H_

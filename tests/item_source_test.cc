@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -184,11 +185,91 @@ TEST(FileSource, RoundTripsAWrittenTrace) {
   }
   std::remove(path.c_str());
 
+  // An unopenable path is an *error*, not a known-empty stream: ok() is
+  // false, status() names the path, and the size is unknown — never "0
+  // items left", which a consumer could not tell from a real empty trace.
   FileSource missing(::testing::TempDir() + "/no_such_trace.u64");
   EXPECT_FALSE(missing.ok());
+  EXPECT_FALSE(missing.status().ok());
+  EXPECT_NE(missing.status().message().find("no_such_trace"),
+            std::string::npos);
   Item buffer[4];
   EXPECT_EQ(missing.NextBatch(buffer, 4), 0u);
-  EXPECT_EQ(*missing.SizeHint(), 0u);
+  EXPECT_FALSE(missing.SizeHint().has_value());
+}
+
+TEST(FileSource, TruncatedTraceIsAnError) {
+  // A trace whose byte length is not a whole number of records was
+  // truncated mid-record (or is not a trace at all). It must surface as
+  // an error — recovery replaying it as a clean short tail would rebuild
+  // state silently short of the crash point.
+  const Stream stream = ZipfStream(kUniverse, 1.2, 2000, kSeed);
+  const std::string path = ::testing::TempDir() + "/fewstate_truncated.u64";
+  ASSERT_TRUE(WriteTrace(path, stream).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[3] = {0x1, 0x2, 0x3};
+    ASSERT_EQ(std::fwrite(garbage, 1, sizeof(garbage), f), sizeof(garbage));
+    ASSERT_EQ(std::fclose(f), 0);
+  }
+
+  FileSource truncated(path);
+  EXPECT_FALSE(truncated.ok());
+  EXPECT_FALSE(truncated.status().ok());
+  EXPECT_NE(truncated.status().message().find("truncated"),
+            std::string::npos);
+  // The whole records still read (a forensic consumer may want them), but
+  // the error state persists through the drain.
+  EXPECT_EQ(Materialize(truncated), stream);
+  EXPECT_FALSE(truncated.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SizeHints, CompositeSumsDoNotWrap) {
+  // Child hints that sum past uint64 must yield "unknown", not a wrapped
+  // small number that a consumer would happily reserve() or plan around.
+  const uint64_t huge = std::numeric_limits<uint64_t>::max() - 10;
+  GeneratorSource a(huge, [] { return Item{1}; });
+  GeneratorSource b(huge, [] { return Item{2}; });
+  ASSERT_EQ(*a.SizeHint(), huge);
+
+  ConcatSource concat({&a, &b});
+  EXPECT_FALSE(concat.SizeHint().has_value());
+  InterleaveSource interleave({&a, &b}, /*chunk_items=*/4);
+  EXPECT_FALSE(interleave.SizeHint().has_value());
+
+  // Small sums still add exactly.
+  GeneratorSource c(100, [] { return Item{3}; });
+  GeneratorSource d(23, [] { return Item{4}; });
+  ConcatSource small_concat({&c, &d});
+  EXPECT_EQ(*small_concat.SizeHint(), 123u);
+}
+
+TEST(CompositeSources, PropagateChildFailures) {
+  // A failed child reads as end-of-stream inside a composition; without
+  // status propagation the composite would testify to a clean (short)
+  // stream.
+  const Stream good_items = UniformStream(kUniverse, 500, kSeed);
+  VectorSource good(good_items);
+  FileSource bad(::testing::TempDir() + "/concat_missing_trace.u64");
+  ASSERT_FALSE(bad.ok());
+
+  ConcatSource concat({&good, &bad});
+  EXPECT_FALSE(concat.status().ok());
+
+  VectorSource good2(good_items);
+  FileSource bad2(::testing::TempDir() + "/interleave_missing_trace.u64");
+  InterleaveSource interleave({&good2, &bad2}, /*chunk_items=*/8);
+  // Drain fully: the failed source is dropped from the rotation like an
+  // ended one, but its failure must still be visible afterwards.
+  EXPECT_EQ(Materialize(interleave).size(), good_items.size());
+  EXPECT_FALSE(interleave.status().ok());
+
+  VectorSource good3(good_items);
+  UnsizedSource unsized(&bad);
+  EXPECT_FALSE(unsized.status().ok());
+  EXPECT_TRUE(UnsizedSource(&good3).status().ok());
 }
 
 TEST(ConcatSource, EqualsConcatenatedVectors) {

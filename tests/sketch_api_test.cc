@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -200,6 +201,43 @@ TEST(SketchApi, RepeatedRunsReportPerRunDeltas) {
   EXPECT_EQ(engine.Find("count_min")->accountant().state_changes(),
             2 * kLength);
   EXPECT_EQ(engine.last_report().Find("count_min")->state_changes, kLength);
+}
+
+TEST(SketchApi, CsvRowsSanitizeCallerLabels) {
+  const Stream stream = ZipfStream(kUniverse, 1.2, 2000, kSeed);
+
+  StreamEngine engine;
+  engine.Register("count_min",
+                  std::make_unique<CountMin>(4, 256, /*seed=*/21));
+  engine.Run(stream);
+
+  // A label with a comma (or quote/newline) would shift every downstream
+  // column for every scraper of the CSV block; the emitter neuters it.
+  const std::string csv =
+      engine.last_report().ToCsv("zipf,s=1.2\n\"x\"");
+  ASSERT_FALSE(csv.empty());
+  EXPECT_NE(csv.find("zipf_s=1.2__x_,count_min,"), std::string::npos);
+
+  // Every emitted row still has exactly the header's column count.
+  const std::string header = RunReport::CsvHeader();
+  const size_t header_commas = static_cast<size_t>(
+      std::count(header.begin(), header.end(), ','));
+  size_t start = 0;
+  while (start < csv.size()) {
+    size_t end = csv.find('\n', start);
+    if (end == std::string::npos) end = csv.size();
+    const std::string row = csv.substr(start, end - start);
+    if (!row.empty()) {
+      EXPECT_EQ(static_cast<size_t>(std::count(row.begin(), row.end(), ',')),
+                header_commas)
+          << row;
+    }
+    start = end + 1;
+  }
+
+  // Untouched labels pass through byte for byte.
+  EXPECT_NE(engine.last_report().ToCsv("m=2000").find("m=2000,count_min,"),
+            std::string::npos);
 }
 
 TEST(SketchApi, BorrowedSketchesAreDrivenInPlace) {

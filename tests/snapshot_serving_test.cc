@@ -1,0 +1,283 @@
+// The online-serving subsystem: readers acquiring SnapshotViews during a
+// live sharded ingest must see (a) consistent state — every per-shard
+// snapshot bitwise-equal to a single-threaded replay of that shard's
+// substream prefix up to the published checkpoint cut, (b) bounded
+// staleness — never more than one checkpoint interval plus one partition
+// batch behind the shard's live progress, and (c) immutable views — a
+// held view answers bit-identically forever, however many checkpoints
+// (or whole runs) the engine publishes after it.
+
+#include "shard/snapshot_serving.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/count_min.h"
+#include "baselines/misra_gries.h"
+#include "recover/checkpoint_policy.h"
+#include "shard/sharded_engine.h"
+#include "shard/sketch_factory.h"
+#include "stream/generators.h"
+
+namespace fewstate {
+namespace {
+
+constexpr uint64_t kUniverse = 400;
+constexpr uint64_t kLength = 120000;
+constexpr uint64_t kSeed = 77;
+constexpr size_t kShards = 2;
+constexpr size_t kBatch = 512;
+constexpr uint64_t kEvery = 5000;
+
+NvmSpec CkptSpec() {
+  NvmSpec spec;
+  spec.config.num_cells = 1 << 12;
+  spec.config.endurance = 1 << 20;
+  return spec;
+}
+
+SketchFactory CountMinFactory() {
+  return SketchFactory::Of<CountMin>("count_min", size_t{4}, size_t{128},
+                                     uint64_t{21}, false);
+}
+
+SketchFactory MisraGriesFactory() {
+  return SketchFactory::Of<MisraGries>("misra_gries", size_t{64});
+}
+
+ShardedEngineOptions ServingOptions(CheckpointPolicy policy) {
+  ShardedEngineOptions options;
+  options.shards = kShards;
+  options.batch_items = kBatch;
+  options.checkpoint_policy = policy;
+  options.checkpoint_nvm = CkptSpec();
+  options.serve_snapshots = true;
+  return options;
+}
+
+// Replays shard `shard`'s substream prefix (the first `cut` items the
+// engine's partitioner routes there) into a fresh replica — the ground
+// truth a published snapshot with items_at_checkpoint == cut must equal.
+std::unique_ptr<Sketch> ReplayShardPrefix(const ShardedEngine& engine,
+                                          const SketchFactory& factory,
+                                          const Stream& stream, size_t shard,
+                                          uint64_t cut) {
+  std::unique_ptr<Sketch> replica = factory.Make();
+  uint64_t taken = 0;
+  for (Item item : stream) {
+    if (engine.ShardOf(item) != shard) continue;
+    if (taken == cut) break;
+    replica->Update(item);
+    ++taken;
+  }
+  EXPECT_EQ(taken, cut) << "shard substream shorter than the published cut";
+  return replica;
+}
+
+void ExpectViewMatchesPrefixReplay(const ShardedEngine& engine,
+                                   const SketchFactory& factory,
+                                   const Stream& stream,
+                                   const SnapshotView& view) {
+  for (size_t s = 0; s < view.shards(); ++s) {
+    const ShardSnapshot* snap = view.shard_snapshot(s);
+    if (snap == nullptr) continue;
+    const std::unique_ptr<Sketch> reference = ReplayShardPrefix(
+        engine, factory, stream, s, snap->items_at_checkpoint);
+    for (Item item = 0; item < kUniverse; ++item) {
+      ASSERT_EQ(snap->sketch->EstimateFrequency(item),
+                reference->EstimateFrequency(item))
+          << factory.name() << " shard " << s << " seq " << snap->sequence
+          << " diverged at item " << item;
+    }
+  }
+}
+
+// The tentpole invariant, exercised under TSan: a reader thread hammers
+// Acquire()/EstimateFrequency() while the sharded ingest runs. Each
+// captured view must be a consistent checkpoint state with bounded
+// staleness; the full-mode publication path shares the actual snapshot
+// objects with the checkpoint machinery, so this is also the race test
+// for the atomic shared_ptr protocol.
+TEST(SnapshotServing, ConcurrentReadersSeeConsistentBoundedViews) {
+  const Stream stream = ZipfStream(kUniverse, 1.2, kLength, kSeed);
+  for (const CheckpointPolicy policy :
+       {CheckpointPolicy::EveryItems(kEvery, CheckpointPolicy::Snapshot::kFull),
+        CheckpointPolicy::EveryItems(kEvery,
+                                     CheckpointPolicy::Snapshot::kDelta)}) {
+    ShardedEngine engine(ServingOptions(policy));
+    const SketchFactory factory = CountMinFactory();
+    ASSERT_TRUE(engine.AddSketch(factory).ok());
+    const ServingHandle handle = engine.Serving("count_min");
+    ASSERT_TRUE(handle.ok());
+
+    // Reader: spin on Acquire until the run ends, keeping a sample of
+    // distinct (per first shard's sequence) views plus per-view frozen
+    // estimates to re-check immutability later.
+    struct Captured {
+      SnapshotView view;
+      std::vector<double> frozen;  // estimates at capture time
+    };
+    std::vector<Captured> captured;
+    std::atomic<bool> done{false};
+    std::thread reader([&] {
+      uint64_t last_seen_sequence = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        SnapshotView view = handle.Acquire();
+        // The ordering guarantee: progress is released before the
+        // checkpoint that covers it publishes, and Acquire loads slots
+        // before progress, so a view can never claim negative staleness.
+        // (The cadence *bound* is asserted post-run on quiescent state —
+        // mid-run the reader can be descheduled between the two loads,
+        // which only ever inflates the apparent staleness.)
+        for (size_t s = 0; s < view.shards(); ++s) {
+          const ShardSnapshot* snap = view.shard_snapshot(s);
+          const uint64_t cut = snap != nullptr ? snap->items_at_checkpoint : 0;
+          ASSERT_GE(view.shard_progress(s), cut);
+        }
+        const ShardSnapshot* first = view.shard_snapshot(0);
+        if (first != nullptr && first->sequence > last_seen_sequence &&
+            captured.size() < 8) {
+          last_seen_sequence = first->sequence;
+          Captured c;
+          std::vector<double> frozen(kUniverse, 0.0);
+          for (Item item = 0; item < kUniverse; ++item) {
+            frozen[static_cast<size_t>(item)] = view.EstimateFrequency(item);
+          }
+          c.view = std::move(view);
+          c.frozen = std::move(frozen);
+          captured.push_back(std::move(c));
+        }
+      }
+    });
+    const ShardedRunReport report = engine.Run(stream);
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    const ShardedSketchReport* sk = report.Find("count_min");
+    ASSERT_NE(sk, nullptr);
+    EXPECT_GT(sk->checkpoints_taken, 0u);
+    EXPECT_EQ(sk->snapshots_published, sk->checkpoints_taken);
+    EXPECT_EQ(sk->checkpoint.snapshots_published, sk->snapshots_published);
+
+    // Consistency: every captured view equals a single-threaded replay of
+    // each shard's substream prefix at the published cut — the view IS
+    // the engine's state at some checkpoint, never a torn intermediate.
+    ASSERT_FALSE(captured.empty());
+    for (const Captured& c : captured) {
+      ExpectViewMatchesPrefixReplay(engine, factory, stream, c.view);
+      // Immutability: the view still answers exactly what it answered at
+      // capture time, although many checkpoints landed since.
+      for (Item item = 0; item < kUniverse; ++item) {
+        ASSERT_EQ(c.view.EstimateFrequency(item),
+                  c.frozen[static_cast<size_t>(item)])
+            << "view mutated after capture at item " << item;
+      }
+    }
+
+    // The final view is complete and its cuts equal the run's recorded
+    // last-checkpoint markers.
+    const SnapshotView final_view = handle.Acquire();
+    ASSERT_TRUE(final_view.complete());
+    uint64_t visible = 0;
+    for (size_t s = 0; s < kShards; ++s) {
+      EXPECT_EQ(final_view.shard_snapshot(s)->items_at_checkpoint,
+                sk->last_checkpoint_items[s]);
+      visible += sk->last_checkpoint_items[s];
+      // Staleness bound (deterministic on quiescent state): had a shard
+      // ended a full interval plus a batch past its last cut, the worker
+      // would have checkpointed again at a batch boundary in between.
+      EXPECT_GE(final_view.shard_progress(s), sk->last_checkpoint_items[s]);
+      EXPECT_LE(final_view.shard_progress(s) - sk->last_checkpoint_items[s],
+                kEvery + kBatch);
+    }
+    EXPECT_EQ(final_view.items_visible(), visible);
+    EXPECT_EQ(final_view.items_behind(), report.items_ingested - visible);
+    ExpectViewMatchesPrefixReplay(engine, factory, stream, final_view);
+  }
+}
+
+// Views must survive (and stay bit-stable through) a subsequent Run: the
+// next run clears the publication slots, but a held view owns its
+// snapshots.
+TEST(SnapshotServing, ViewsOutliveSubsequentRuns) {
+  const Stream stream = ZipfStream(kUniverse, 1.2, 40000, kSeed);
+  ShardedEngine engine(ServingOptions(CheckpointPolicy::EveryItems(
+      kEvery, CheckpointPolicy::Snapshot::kDelta)));
+  ASSERT_TRUE(engine.AddSketch(CountMinFactory()).ok());
+  const ServingHandle handle = engine.Serving("count_min");
+
+  engine.Run(stream);
+  const SnapshotView old_view = handle.Acquire();
+  ASSERT_TRUE(old_view.complete());
+  std::vector<double> frozen(kUniverse, 0.0);
+  for (Item item = 0; item < kUniverse; ++item) {
+    frozen[static_cast<size_t>(item)] = old_view.EstimateFrequency(item);
+  }
+
+  // A second, different run publishes fresh snapshots into the slots.
+  engine.Run(ZipfStream(kUniverse, 1.2, 60000, kSeed + 1));
+  for (Item item = 0; item < kUniverse; ++item) {
+    ASSERT_EQ(old_view.EstimateFrequency(item),
+              frozen[static_cast<size_t>(item)])
+        << "held view changed across a Run at item " << item;
+  }
+  const SnapshotView new_view = handle.Acquire();
+  ASSERT_TRUE(new_view.complete());
+  EXPECT_NE(new_view.shard_snapshot(0)->sketch,
+            old_view.shard_snapshot(0)->sketch);
+}
+
+// serve_snapshots is opt-in: a checkpointing run without it publishes
+// nothing and reports zero snapshots_published, and non-serving behaviour
+// (wear, checkpoint counts) is not perturbed by the serving machinery.
+TEST(SnapshotServing, PublicationIsOptIn) {
+  const Stream stream = ZipfStream(kUniverse, 1.2, 40000, kSeed);
+  ShardedEngineOptions options;
+  options.shards = kShards;
+  options.batch_items = kBatch;
+  options.checkpoint_policy =
+      CheckpointPolicy::EveryItems(kEvery, CheckpointPolicy::Snapshot::kFull);
+  options.checkpoint_nvm = CkptSpec();
+  ShardedEngine engine(options);
+  ASSERT_TRUE(engine.AddSketch(CountMinFactory()).ok());
+  ASSERT_TRUE(engine.AddSketch(MisraGriesFactory()).ok());
+  const ServingHandle handle = engine.Serving("count_min");
+  ASSERT_TRUE(handle.ok());
+
+  const ShardedRunReport report = engine.Run(stream);
+  const SnapshotView view = handle.Acquire();
+  EXPECT_EQ(view.shards(), kShards);
+  EXPECT_EQ(view.shards_published(), 0u);
+  EXPECT_FALSE(view.complete());
+  EXPECT_EQ(view.items_visible(), 0u);
+  EXPECT_EQ(view.EstimateFrequency(0), 0.0);
+  for (const ShardedSketchReport& sk : report.sketches) {
+    EXPECT_GT(sk.checkpoints_taken, 0u) << sk.name;
+    EXPECT_EQ(sk.snapshots_published, 0u) << sk.name;
+  }
+}
+
+// Unknown names yield an invalid handle whose views are inert, not UB.
+TEST(SnapshotServing, UnknownNamesGiveInvalidHandles) {
+  ShardedEngine engine(ServingOptions(CheckpointPolicy::EveryItems(
+      kEvery, CheckpointPolicy::Snapshot::kFull)));
+  ASSERT_TRUE(engine.AddSketch(CountMinFactory()).ok());
+  const ServingHandle handle = engine.Serving("no_such_sketch");
+  EXPECT_FALSE(handle.ok());
+  const SnapshotView view = handle.Acquire();
+  EXPECT_EQ(view.shards(), 0u);
+  EXPECT_TRUE(view.complete());  // vacuously: zero shards, zero published
+  EXPECT_EQ(view.items_behind(), 0u);
+  EXPECT_EQ(view.EstimateFrequency(0), 0.0);
+  EXPECT_EQ(view.shard_sketch(0), nullptr);
+  EXPECT_EQ(view.shard_snapshot(0), nullptr);
+}
+
+}  // namespace
+}  // namespace fewstate
