@@ -18,11 +18,21 @@
 // readers.
 //
 // Usage: bench_serving [stream_length] [cadence_list] [full|delta]
+//                      [obs] [--obs-out <dir>]
 // (defaults: 3000000, "2000,10000,50000", delta). `delta` exercises the
 // double-buffered publication path: restorable sketches keep a persistent
 // delta base, so serving copies the base into a spare buffer instead of
 // publishing the mutable object (priced as bulk reads on the checkpoint
 // device).
+//
+// `obs` enables the metrics-overhead mode: each cadence runs twice —
+// telemetry off, then with a MetricsRegistry and TraceRecorder attached
+// — and an `overhead` CSV block reports the ingest items/sec delta
+// (budget: <3%). `--obs-out <dir>` instruments the sweep and writes the
+// accumulated telemetry as CI-friendly artifacts afterwards:
+// `<dir>/serving_metrics.json`, `<dir>/serving_metrics.prom`
+// (Prometheus text exposition), and `<dir>/serving_trace.json`
+// (Chrome trace format — load it in Perfetto or chrome://tracing).
 
 #include <atomic>
 #include <chrono>
@@ -38,6 +48,8 @@
 #include "baselines/count_min.h"
 #include "baselines/stable_sketch.h"
 #include "bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recover/checkpoint_policy.h"
 #include "shard/sharded_engine.h"
 #include "shard/sketch_factory.h"
@@ -79,7 +91,8 @@ struct ServingRun {
 };
 
 ServingRun RunAtCadence(uint64_t length, uint64_t cadence,
-                        CheckpointPolicy::Snapshot snapshot_mode) {
+                        CheckpointPolicy::Snapshot snapshot_mode,
+                        MetricsRegistry* metrics, TraceRecorder* trace) {
   ShardedEngineOptions options;
   options.shards = 2;
   options.batch_items = 4096;
@@ -87,6 +100,8 @@ ServingRun RunAtCadence(uint64_t length, uint64_t cadence,
                                                            snapshot_mode);
   options.checkpoint_nvm.config.num_cells = 1 << 16;
   options.serve_snapshots = true;
+  options.metrics = metrics;
+  options.trace = trace;
   ShardedEngine engine(options);
   for (const SketchFactory& factory : Roster()) {
     const Status status = engine.AddSketch(factory);
@@ -148,18 +163,51 @@ ServingRun RunAtCadence(uint64_t length, uint64_t cadence,
   return out;
 }
 
+// Writes `content` to `path`; complains to stderr instead of failing the
+// bench — a missing artifact dir shouldn't sink the numbers.
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Flags (`obs`, `--obs-out <dir>`) can sit anywhere; the rest are the
+  // positional [stream_length] [cadence_list] [full|delta] args.
+  bool obs_overhead = false;
+  std::string obs_out;
+  std::vector<const char*> positional;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "obs") == 0) {
+      obs_overhead = true;
+    } else if (std::strcmp(argv[a], "--obs-out") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--obs-out needs a directory argument\n");
+        return 1;
+      }
+      obs_out = argv[++a];
+    } else {
+      positional.push_back(argv[a]);
+    }
+  }
+
   uint64_t length = 3000000;
-  if (argc > 1) {
-    const long long parsed = std::atoll(argv[1]);
+  if (positional.size() > 0) {
+    const long long parsed = std::atoll(positional[0]);
     if (parsed > 0) length = static_cast<uint64_t>(parsed);
   }
   std::vector<uint64_t> cadences{2000, 10000, 50000};
-  if (argc > 2) {
+  if (positional.size() > 1) {
     cadences.clear();
-    for (const char* p = argv[2]; *p != '\0';) {
+    for (const char* p = positional[1]; *p != '\0';) {
       const long long c = std::atoll(p);
       if (c > 0) cadences.push_back(static_cast<uint64_t>(c));
       const char* comma = std::strchr(p, ',');
@@ -169,7 +217,7 @@ int main(int argc, char** argv) {
     if (cadences.empty()) cadences = {2000, 10000, 50000};
   }
   CheckpointPolicy::Snapshot snapshot_mode = CheckpointPolicy::Snapshot::kDelta;
-  if (argc > 3 && std::strcmp(argv[3], "full") == 0) {
+  if (positional.size() > 2 && std::strcmp(positional[2], "full") == 0) {
     snapshot_mode = CheckpointPolicy::Snapshot::kFull;
   }
   const char* mode_name =
@@ -194,8 +242,42 @@ int main(int argc, char** argv) {
       "cadence_items,snapshot,shards,stream_items,queries,query_qps,"
       "views_sampled,mean_items_behind,max_items_behind,final_items_behind,"
       "snapshots_published,ingest_items_per_sec");
+  if (obs_overhead) {
+    bench::CsvBlock("overhead,cadence,ingest_ips_off,ingest_ips_on,"
+                    "delta_pct\n");
+  }
+
+  // One registry/tracer shared across the instrumented sweep so the
+  // exported artifacts cover every cadence; null when telemetry is off.
+  const bool instrument = obs_overhead || !obs_out.empty();
+  MetricsRegistry registry;
+  TraceRecorder trace;
+  MetricsRegistry* metrics_ptr = instrument ? &registry : nullptr;
+  TraceRecorder* trace_ptr = instrument ? &trace : nullptr;
+
   for (uint64_t cadence : cadences) {
-    const ServingRun run = RunAtCadence(length, cadence, snapshot_mode);
+    // Telemetry-off baseline first when measuring overhead; the table
+    // row always carries the run made with the sweep's telemetry mode.
+    double off_ips = 0;
+    if (obs_overhead) {
+      off_ips = RunAtCadence(length, cadence, snapshot_mode, nullptr,
+                             nullptr).ingest_items_per_sec;
+    }
+    const ServingRun run =
+        RunAtCadence(length, cadence, snapshot_mode, metrics_ptr, trace_ptr);
+    if (obs_overhead) {
+      const double on_ips = run.ingest_items_per_sec;
+      const double delta_pct =
+          off_ips > 0 ? (off_ips - on_ips) / off_ips * 100.0 : 0.0;
+      std::printf("   cadence=%llu metrics overhead: %.0f -> %.0f "
+                  "items/sec (%+.2f%%)\n",
+                  (unsigned long long)cadence, off_ips, on_ips, delta_pct);
+      char overhead_csv[160];
+      std::snprintf(overhead_csv, sizeof(overhead_csv),
+                    "overhead,%llu,%.0f,%.0f,%.2f",
+                    (unsigned long long)cadence, off_ips, on_ips, delta_pct);
+      bench::CsvBlock(std::string(overhead_csv) + "\n");
+    }
     const double qps =
         run.query_seconds > 0 ? run.queries / run.query_seconds : 0;
     bench::Row("%9llu %10llu %12.0f %8llu %13.0f %12llu %12llu %10llu %12.0f",
@@ -219,6 +301,25 @@ int main(int argc, char** argv) {
                   (unsigned long long)run.snapshots_published,
                   run.ingest_items_per_sec);
     bench::CsvBlock(std::string(csv) + "\n");
+  }
+
+  if (!obs_out.empty()) {
+    // CI artifacts: one metrics snapshot + one trace covering the whole
+    // sweep. The trace is standard Chrome trace format — drop it into
+    // Perfetto (ui.perfetto.dev) or chrome://tracing to inspect.
+    const MetricsSnapshot snap = registry.Snapshot();
+    WriteFileOrWarn(obs_out + "/serving_metrics.json", snap.ToJson());
+    WriteFileOrWarn(obs_out + "/serving_metrics.prom", snap.ToPrometheus());
+    if (trace.WriteJson(obs_out + "/serving_trace.json")) {
+      std::printf("\nobs artifacts: %s/serving_metrics.{json,prom}, "
+                  "%s/serving_trace.json (%llu events, %llu dropped)\n",
+                  obs_out.c_str(), obs_out.c_str(),
+                  (unsigned long long)trace.event_count(),
+                  (unsigned long long)trace.dropped_events());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s/serving_trace.json\n",
+                   obs_out.c_str());
+    }
   }
 
   std::printf(

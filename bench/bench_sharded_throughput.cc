@@ -16,7 +16,7 @@
 // few MiB.
 //
 // Usage: bench_sharded_throughput [stream_length] [shard_list]
-//                                 [checkpoint_every] [full|delta]
+//                                 [checkpoint_every] [full|delta] [obs]
 // (defaults: 20000000, "1,2,4,8", 0 = no checkpointing, and full; CI's
 // ThreadSanitizer job passes a smaller length, and a mega-stream
 // acceptance run can restrict the sweep, e.g.
@@ -29,6 +29,13 @@
 // re-serialize only the words their `DirtyTracker` saw change, splitting
 // the ckpt count into full/delta in the table and the `ckpt_full` /
 // `ckpt_delta` CSV columns.
+//
+// `obs` (any argv position) enables the metrics-overhead mode: each
+// sweep point runs twice — telemetry off, then with a MetricsRegistry
+// and TraceRecorder attached — and an `overhead` CSV block reports the
+// items/sec delta. The observability layer's budget is <3%: metering is
+// thread-confined on the per-word path and drained at batch boundaries,
+// so the delta should be noise.
 
 #include <cstdint>
 #include <cstdio>
@@ -41,6 +48,8 @@
 #include "baselines/space_saving.h"
 #include "baselines/stable_sketch.h"
 #include "bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recover/checkpoint_policy.h"
 #include "shard/sharded_engine.h"
 #include "shard/sketch_factory.h"
@@ -97,6 +106,10 @@ int main(int argc, char** argv) {
   if (argc > 4 && std::strcmp(argv[4], "delta") == 0) {
     snapshot_mode = CheckpointPolicy::Snapshot::kDelta;
   }
+  bool obs_overhead = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "obs") == 0) obs_overhead = true;
+  }
 
   bench::Banner(
       "E-shard bench_sharded_throughput",
@@ -123,26 +136,56 @@ int main(int argc, char** argv) {
               "merge_writes", "merge_s", "ckpts", "full", "delta",
               "ckpt_writes", "peak_rss_mib");
   bench::CsvHeader(RunReport::CsvHeader());
-  for (size_t shards : sweep) {
+  if (obs_overhead) {
+    bench::CsvBlock("overhead,S,items_per_sec_off,items_per_sec_on,"
+                    "delta_pct\n");
+  }
+  // One sweep point: a fresh engine over a fresh, identically-seeded
+  // source (same items every run, nothing materialized, generation
+  // overlapped with ingest), optionally instrumented.
+  const auto run_point = [&](size_t shards, MetricsRegistry* metrics,
+                             TraceRecorder* trace) -> ShardedRunReport {
     ShardedEngineOptions options;
     options.shards = shards;
     options.batch_items = 8192;
     options.checkpoint_policy =
         CheckpointPolicy::EveryItems(checkpoint_every, snapshot_mode);
     options.checkpoint_nvm.config.num_cells = 1 << 16;
+    options.metrics = metrics;
+    options.trace = trace;
     ShardedEngine engine(options);
     for (const SketchFactory& f : Roster()) {
       const Status status = engine.AddSketch(f);
       if (!status.ok()) {
         std::fprintf(stderr, "AddSketch failed: %s\n",
                      status.ToString().c_str());
-        return 1;
+        std::exit(1);
       }
     }
-    // A fresh, identically-seeded source per S: same items every sweep
-    // point, nothing materialized, generation overlapped with ingest.
-    const ShardedRunReport report =
-        engine.Run(ZipfSource(kFlows, 1.2, length, /*seed=*/2024));
+    return engine.Run(ZipfSource(kFlows, 1.2, length, /*seed=*/2024));
+  };
+  for (size_t shards : sweep) {
+    ShardedRunReport report = run_point(shards, nullptr, nullptr);
+    if (obs_overhead) {
+      // Telemetry-on rerun of the same point: the table row keeps the
+      // instrumented figures (what an observed deployment sees), the
+      // overhead CSV row carries the off/on delta.
+      MetricsRegistry registry;
+      TraceRecorder trace;
+      const double off_ips = report.items_per_second;
+      report = run_point(shards, &registry, &trace);
+      const double on_ips = report.items_per_second;
+      const double delta_pct =
+          off_ips > 0 ? (off_ips - on_ips) / off_ips * 100.0 : 0.0;
+      std::printf("   S=%zu metrics overhead: %.0f -> %.0f items/sec "
+                  "(%+.2f%%)\n",
+                  shards, off_ips, on_ips, delta_pct);
+      char overhead_csv[160];
+      std::snprintf(overhead_csv, sizeof(overhead_csv),
+                    "overhead,%zu,%.0f,%.0f,%.2f", shards, off_ips, on_ips,
+                    delta_pct);
+      bench::CsvBlock(std::string(overhead_csv) + "\n");
+    }
 
     uint64_t state_changes = 0, word_writes = 0, merge_writes = 0;
     uint64_t checkpoints = 0, full_ckpts = 0, delta_ckpts = 0;

@@ -17,6 +17,13 @@
 // traffic that makes this possible is metered through the same simulated
 // NVM sinks as always — serving adds no unpriced writes.
 //
+// The engine also carries a live `MetricsRegistry`: the console polls an
+// immutable `MetricsSnapshot` on the same tick as each view, so the wear
+// rate, shard queue depth, and checkpoint count printed next to the
+// estimates describe the same instant the estimates do. Console ticks are
+// paced by steady_clock deadline (`sleep_until` on an advancing deadline),
+// so a slow print doesn't smear the cadence.
+//
 // After ingest quiesces the shard replicas are merged and scored against
 // exact ground truth, with the paper's (non-mergeable) LpHeavyHitters
 // structure on the single-shard path as the wear reference point.
@@ -33,6 +40,7 @@
 #include "baselines/count_sketch.h"
 #include "baselines/space_saving.h"
 #include "core/heavy_hitters.h"
+#include "obs/metrics.h"
 #include "recover/checkpoint_policy.h"
 #include "shard/sharded_engine.h"
 #include "shard/sketch_factory.h"
@@ -91,6 +99,35 @@ void PrintRow(const char* name, const Quality& q, const ShardedSketchReport& r,
               (double)r.total.state_changes / packets);
 }
 
+// Max of a gauge family across its label sets, optionally restricted to
+// one `sketch=` label — e.g. the worst per-shard wear rate of count_min.
+double MaxGauge(const MetricsSnapshot& snap, const std::string& name,
+                const char* sketch = nullptr) {
+  double best = 0;
+  for (const GaugeSample& g : snap.gauges()) {
+    if (g.id.name != name) continue;
+    if (sketch != nullptr) {
+      bool match = false;
+      for (const auto& label : g.id.labels) {
+        if (label.first == "sketch" && label.second == sketch) match = true;
+      }
+      if (!match) continue;
+    }
+    if (g.value > best) best = g.value;
+  }
+  return best;
+}
+
+// Sum of a gauge family across its label sets (e.g. engine-wide queue
+// depth over all shards).
+double SumGauge(const MetricsSnapshot& snap, const std::string& name) {
+  double total = 0;
+  for (const GaugeSample& g : snap.gauges()) {
+    if (g.id.name == name) total += g.value;
+  }
+  return total;
+}
+
 }  // namespace
 
 int main() {
@@ -129,6 +166,11 @@ int main() {
       100000, CheckpointPolicy::Snapshot::kDelta);
   options.checkpoint_nvm.config.num_cells = 1 << 16;
   options.serve_snapshots = true;
+  // Live telemetry, polled by the console below on the same tick as each
+  // acquired view; per-word metering stays thread-confined in the
+  // workers, so attaching it is effectively free.
+  MetricsRegistry telemetry;
+  options.metrics = &telemetry;
   ShardedEngine engine(options);
   MustOk(engine.AddSketch(
       SketchFactory::Of<SpaceSaving>("space_saving", size_t{4096})));
@@ -151,23 +193,39 @@ int main() {
   });
 
   std::printf("live console (count_min views published at each delta "
-              "checkpoint; truth in parens):\n");
-  std::printf("%12s %12s", "visible", "behind");
+              "checkpoint; truth in parens;\nwear/pkt and qdepth from the "
+              "metrics snapshot polled on the same tick):\n");
+  std::printf("%12s %12s %9s %6s %6s", "visible", "behind", "wear/pkt",
+              "qdepth", "ckpts");
   for (size_t w = 0; w < kWatch; ++w) {
     std::printf("   flow[%llu]", (unsigned long long)elephants[w]);
   }
   std::printf("\n");
   uint64_t last_visible = 0;
   int lines = 0;
+  // Deadline pacing: the tick deadline advances by a fixed interval, so
+  // one slow iteration (a long print, a descheduled console) doesn't push
+  // every later tick back — sleep_until on a past deadline returns
+  // immediately and the loop catches up.
+  constexpr auto kTick = std::chrono::milliseconds(20);
+  auto next_tick = std::chrono::steady_clock::now() + kTick;
   while (!done.load(std::memory_order_acquire)) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_until(next_tick);
+    next_tick += kTick;
     const SnapshotView view = console.Acquire();
     if (!view.complete() || view.items_visible() == last_visible) continue;
     last_visible = view.items_visible();
     if (++lines > 12) continue;  // keep polling, stop printing
-    std::printf("%12llu %12llu",
+    // One immutable metrics snapshot on the same tick as the view: the
+    // telemetry column describes the same instant the estimates do.
+    const MetricsSnapshot live = telemetry.Snapshot();
+    std::printf("%12llu %12llu %9.4f %6.0f %6llu",
                 (unsigned long long)view.items_visible(),
-                (unsigned long long)view.items_behind());
+                (unsigned long long)view.items_behind(),
+                MaxGauge(live, "fewstate_sketch_wear_rate", "count_min"),
+                SumGauge(live, "fewstate_shard_queue_depth"),
+                (unsigned long long)live.CounterTotal(
+                    "fewstate_checkpoints_total"));
     for (size_t w = 0; w < kWatch; ++w) {
       std::printf(" %8.0f(%llu)", view.EstimateFrequency(elephants[w]),
                   (unsigned long long)oracle.Frequency(elephants[w]));
@@ -186,7 +244,26 @@ int main() {
                 (unsigned long long)sk.snapshots_published,
                 (unsigned long long)sk.checkpoint.word_writes);
   }
-  std::printf("\n");
+
+  // End-of-run telemetry: the same registry the console polled, now
+  // quiesced — counter totals reconcile exactly with the run report, and
+  // the end-of-run wear probe has published per-device cell-wear stats.
+  {
+    const MetricsSnapshot final_snap = telemetry.Snapshot();
+    const HistogramSample* staleness = final_snap.FindHistogram(
+        "fewstate_view_staleness_items", {{"sketch", "count_min"}});
+    std::printf("telemetry: %llu packets counted, worst checkpoint-device "
+                "cell wear %.0f, view staleness p99 <= %llu packets over "
+                "%llu acquires\n\n",
+                (unsigned long long)final_snap.CounterValue(
+                    "fewstate_items_ingested_total"),
+                MaxGauge(final_snap, "fewstate_nvm_max_cell_wear"),
+                (unsigned long long)(staleness != nullptr
+                                         ? staleness->QuantileUpperBound(0.99)
+                                         : 0),
+                (unsigned long long)(staleness != nullptr ? staleness->count
+                                                          : 0));
+  }
 
   // The paper's structure as the wear reference, on the S=1 path.
   HeavyHittersOptions hh_options;

@@ -67,7 +67,7 @@ done
 # contract comment immediately above it (a template<> line may sit in
 # between). Forward declarations (ending in ';') are exempt.
 doc_lint_failed=0
-for header in src/api/*.h src/state/*.h src/nvm/*.h src/shard/*.h src/recover/*.h; do
+for header in src/api/*.h src/state/*.h src/nvm/*.h src/shard/*.h src/recover/*.h src/obs/*.h; do
   bad=$(awk '
     /^(class|struct) [A-Z]/ && $0 !~ /;[[:space:]]*$/ {
       if (p1 !~ /^\/\/\// && !(p1 ~ /^template/ && p2 ~ /^\/\/\//)) {
@@ -83,6 +83,21 @@ for header in src/api/*.h src/state/*.h src/nvm/*.h src/shard/*.h src/recover/*.
   fi
 done
 if [ "$doc_lint_failed" -ne 0 ]; then
+  exit 1
+fi
+
+# Docs gate 3: every metric name string used in src/ must have a row in
+# the docs/OBSERVABILITY.md catalogue — an undocumented metric is a
+# dashboard nobody can read. (Names are literal "fewstate_*" strings;
+# dynamic name construction is deliberately not used in src/.)
+metric_gate_failed=0
+for metric in $(grep -rhoE '"fewstate_[a-z0-9_]+"' src | tr -d '"' | sort -u); do
+  if ! grep -q "\`${metric}\`" docs/OBSERVABILITY.md; then
+    echo "check.sh: metric ${metric} used in src/ but missing from the docs/OBSERVABILITY.md catalogue" >&2
+    metric_gate_failed=1
+  fi
+done
+if [ "$metric_gate_failed" -ne 0 ]; then
   exit 1
 fi
 

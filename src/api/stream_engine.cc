@@ -6,6 +6,9 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fewstate {
 
 AccountantSnapshot AccountantSnapshot::Of(const StateAccountant& a) {
@@ -172,6 +175,12 @@ const LiveNvmSink* StreamEngine::NvmSink(const std::string& name) const {
   return nullptr;
 }
 
+void StreamEngine::AttachMetrics(MetricsRegistry* metrics,
+                                 TraceRecorder* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+}
+
 Sketch* StreamEngine::RegisterEntry(std::string name, Sketch* borrowed,
                                     std::unique_ptr<Sketch> owned) {
   if (borrowed == nullptr) {
@@ -223,6 +232,44 @@ RunReport StreamEngine::Run(ItemSource& source) {
   }
   std::vector<double> sketch_seconds(entries_.size(), 0.0);
 
+  // Opt-in telemetry: bindings resolved once here, fed at batch
+  // boundaries below directly from the accountants (a single-threaded
+  // engine needs no metering tap — the accountant is right there).
+  struct Tele {
+    Counter* state_changes = nullptr;
+    Counter* word_writes = nullptr;
+    Gauge* change_rate = nullptr;
+    Gauge* wear_rate = nullptr;
+    uint64_t last_changes = 0;
+    uint64_t last_writes = 0;
+  };
+  std::vector<Tele> tele;
+  std::vector<std::string> update_span_names;
+  Counter* items_counter = nullptr;
+  if (metrics_ != nullptr) {
+    items_counter = metrics_->GetCounter("fewstate_items_ingested_total");
+    tele.resize(entries_.size());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const MetricLabels labels{{"sketch", entries_[i].name}};
+      tele[i].state_changes =
+          metrics_->GetCounter("fewstate_sketch_state_changes_total", labels);
+      tele[i].word_writes =
+          metrics_->GetCounter("fewstate_sketch_word_writes_total", labels);
+      tele[i].change_rate =
+          metrics_->GetGauge("fewstate_sketch_change_rate", labels);
+      tele[i].wear_rate =
+          metrics_->GetGauge("fewstate_sketch_wear_rate", labels);
+      tele[i].last_changes = before[i].state_changes;
+      tele[i].last_writes = before[i].word_writes;
+    }
+  }
+  if (trace_ != nullptr) {
+    update_span_names.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      update_span_names.push_back("update:" + e.name);
+    }
+  }
+
   // Sketches are mutually independent, so the pass is blocked: each sketch
   // consumes one pulled batch at a time. That costs two clock reads per
   // (sketch, batch) instead of per (sketch, item), keeping the timer
@@ -232,17 +279,45 @@ RunReport StreamEngine::Run(ItemSource& source) {
   const Clock::time_point run_start = Clock::now();
   report.items_ingested = ForEachBatch(
       source, buffer.data(), buffer.size(),
-      [this, &sketch_seconds](const Item* batch, size_t count) {
+      [this, &sketch_seconds, &tele, &update_span_names,
+       items_counter](const Item* batch, size_t count) {
+        if (trace_ != nullptr) trace_->Begin("batch_drain", "ingest");
         for (size_t i = 0; i < entries_.size(); ++i) {
           Sketch* sketch = entries_[i].sketch;
+          if (trace_ != nullptr) trace_->Begin(update_span_names[i], "update");
           const Clock::time_point t0 = Clock::now();
           for (size_t j = 0; j < count; ++j) sketch->Update(batch[j]);
           sketch_seconds[i] +=
               std::chrono::duration<double>(Clock::now() - t0).count();
+          if (trace_ != nullptr) trace_->End(update_span_names[i], "update");
+        }
+        if (trace_ != nullptr) trace_->End("batch_drain", "ingest");
+        if (metrics_ == nullptr) return;
+        items_counter->Increment(count);
+        for (size_t i = 0; i < entries_.size(); ++i) {
+          const StateAccountant& a = entries_[i].sketch->accountant();
+          Tele& t = tele[i];
+          const uint64_t changes = a.state_changes();
+          const uint64_t writes = a.word_writes();
+          t.state_changes->Increment(changes - t.last_changes);
+          t.word_writes->Increment(writes - t.last_writes);
+          t.change_rate->Set(static_cast<double>(changes - t.last_changes) /
+                             static_cast<double>(count));
+          t.wear_rate->Set(static_cast<double>(writes - t.last_writes) /
+                           static_cast<double>(count));
+          t.last_changes = changes;
+          t.last_writes = writes;
         }
       });
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - run_start).count();
+
+  if (!source.status().ok()) {
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("fewstate_source_errors_total")->Increment();
+    }
+    if (trace_ != nullptr) trace_->Instant("source_error", "source");
+  }
 
   for (size_t i = 0; i < entries_.size(); ++i) {
     const StateAccountant& a = entries_[i].sketch->accountant();

@@ -14,6 +14,10 @@
 
 namespace fewstate {
 
+// obs/metrics.h + obs/trace.h — opt-in live telemetry and tracing.
+class MetricsRegistry;
+class TraceRecorder;
+
 /// \brief Per-sketch outcome of one `StreamEngine::Run` pass: the deltas
 /// of the sketch's `StateAccountant` over the run, plus wall time spent in
 /// its `Update` calls.
@@ -146,6 +150,17 @@ class StreamEngine {
   /// or nullptr if none.
   const LiveNvmSink* NvmSink(const std::string& name) const;
 
+  /// \brief Attaches opt-in live telemetry (both borrowed; must outlive
+  /// the engine). With a registry, every subsequent `Run` feeds
+  /// `fewstate_items_ingested_total` plus per-sketch state-change /
+  /// word-write counters and change-rate / wear-rate gauges (labelled
+  /// `{sketch=...}`), published at batch boundaries from the accountants
+  /// — a `MetricsRegistry::Snapshot()` polled from another thread mid-run
+  /// sees live values, and end-of-run totals reconcile exactly with the
+  /// `RunReport`. With a tracer, `Run` emits batch-drain and per-sketch
+  /// update spans plus source-error instants. Null detaches either.
+  void AttachMetrics(MetricsRegistry* metrics, TraceRecorder* trace = nullptr);
+
   /// \brief Number of registered sketches.
   size_t size() const { return entries_.size(); }
 
@@ -186,6 +201,8 @@ class StreamEngine {
                         std::unique_ptr<Sketch> owned);
 
   std::vector<Entry> entries_;
+  MetricsRegistry* metrics_ = nullptr;  // borrowed; null = telemetry off
+  TraceRecorder* trace_ = nullptr;      // borrowed; null = tracing off
   RunReport last_report_;
 };
 

@@ -1,0 +1,95 @@
+#ifndef FEWSTATE_OBS_METERING_SINK_H_
+#define FEWSTATE_OBS_METERING_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "state/write_sink.h"
+
+namespace fewstate {
+
+/// \brief A `WriteSink` that meters traffic instead of pricing it —
+/// the tap that feeds live wear-rate and state-change-rate telemetry.
+///
+/// Tee one of these (via `TeeSink`) next to whatever sink chain already
+/// prices a replica's writes, and it counts the device-visible stream:
+/// one word write per `OnWrite` (suppressed writes never arrive, per
+/// the `WriteSink` contract), distinct update epochs as state changes,
+/// and bulk read words. Like every sink it is thread-confined — the
+/// counting members are plain integers on the owner's hot path — but
+/// `Publish()` (also called by `Flush`) copies the totals into relaxed
+/// atomics that *any* thread may poll mid-run via the `published_*`
+/// accessors. The sharded engine publishes at batch boundaries, so the
+/// per-word path stays free of atomics.
+class MeteringSink : public WriteSink {
+ public:
+  /// \brief Counts one changed word; tracks its epoch to count distinct
+  /// state-changing updates. Epoch 0 is initialisation — free under the
+  /// paper's metric (`StateAccountant::BeginUpdate`) — so it never counts
+  /// as a state change, keeping the meter's totals exactly equal to the
+  /// accountant's deltas since attachment.
+  void OnWrite(uint64_t epoch, uint64_t cell) override {
+    (void)cell;
+    ++word_writes_;
+    if (epoch != 0 && (!saw_epoch_ || epoch != last_epoch_)) {
+      ++state_changes_;
+      last_epoch_ = epoch;
+      saw_epoch_ = true;
+    }
+  }
+
+  /// \brief Counts `count` read words.
+  void OnBulkReads(uint64_t count) override { word_reads_ += count; }
+
+  /// \brief End-of-phase barrier: publishes the totals.
+  void Flush() override { Publish(); }
+
+  /// \brief Clears the meters and publishes the zeros.
+  void Reset() override {
+    word_writes_ = 0;
+    state_changes_ = 0;
+    word_reads_ = 0;
+    saw_epoch_ = false;
+    last_epoch_ = 0;
+    Publish();
+  }
+
+  /// \brief Copies the owner-thread totals into the pollable atomics.
+  /// Owner thread only; cheap enough to call every batch.
+  void Publish() {
+    pub_word_writes_.store(word_writes_, std::memory_order_relaxed);
+    pub_state_changes_.store(state_changes_, std::memory_order_relaxed);
+    pub_word_reads_.store(word_reads_, std::memory_order_relaxed);
+  }
+
+  /// \brief Owner-thread reads of the live totals (no fence, exact).
+  uint64_t word_writes() const { return word_writes_; }
+  uint64_t state_changes() const { return state_changes_; }
+  uint64_t word_reads() const { return word_reads_; }
+
+  /// \brief Cross-thread reads of the totals as of the last `Publish`.
+  uint64_t published_word_writes() const {
+    return pub_word_writes_.load(std::memory_order_relaxed);
+  }
+  uint64_t published_state_changes() const {
+    return pub_state_changes_.load(std::memory_order_relaxed);
+  }
+  uint64_t published_word_reads() const {
+    return pub_word_reads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t word_writes_ = 0;
+  uint64_t state_changes_ = 0;
+  uint64_t word_reads_ = 0;
+  uint64_t last_epoch_ = 0;
+  bool saw_epoch_ = false;
+
+  std::atomic<uint64_t> pub_word_writes_{0};
+  std::atomic<uint64_t> pub_state_changes_{0};
+  std::atomic<uint64_t> pub_word_reads_{0};
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_OBS_METERING_SINK_H_

@@ -1,0 +1,296 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fewstate {
+namespace {
+
+// Canonical ordering: by name, then lexicographically by label pairs.
+// Registration sorts labels first, so equal sets compare equal here.
+bool IdLess(const MetricId& a, const MetricId& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+void SortLabels(MetricLabels* labels) {
+  std::sort(labels->begin(), labels->end());
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonId(const MetricId& id, std::string* out) {
+  *out += "\"name\":\"";
+  AppendJsonEscaped(id.name, out);
+  *out += "\",\"labels\":{";
+  for (size_t i = 0; i < id.labels.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += "\"";
+    AppendJsonEscaped(id.labels[i].first, out);
+    *out += "\":\"";
+    AppendJsonEscaped(id.labels[i].second, out);
+    *out += "\"";
+  }
+  *out += "}";
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Prometheus label block, e.g. `{shard="0",sketch="count_min"}`; empty
+// string when there are no labels. `extra` appends one more pair (used
+// for histogram `le`).
+std::string PromLabels(const MetricLabels& labels, const std::string& extra_key,
+                       const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += kv.first + "=\"" + kv.second + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+template <typename Sample>
+const Sample* FindSample(const std::vector<Sample>& samples,
+                         const std::string& name, const MetricLabels& labels) {
+  MetricLabels sorted = labels;
+  SortLabels(&sorted);
+  for (const Sample& s : samples) {
+    if (s.id.name == name && s.id.labels == sorted) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+size_t ThreadMetricStripe() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t stripe =
+      next_thread.fetch_add(1, std::memory_order_relaxed) % Counter::kStripes;
+  return stripe;
+}
+
+uint64_t HistogramSample::QuantileUpperBound(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) return Histogram::BucketUpper(i);
+  }
+  return Histogram::BucketUpper(buckets.size() - 1);
+}
+
+const CounterSample* MetricsSnapshot::FindCounter(
+    const std::string& name, const MetricLabels& labels) const {
+  return FindSample(counters_, name, labels);
+}
+
+const GaugeSample* MetricsSnapshot::FindGauge(const std::string& name,
+                                              const MetricLabels& labels) const {
+  return FindSample(gauges_, name, labels);
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    const std::string& name, const MetricLabels& labels) const {
+  return FindSample(histograms_, name, labels);
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                       const MetricLabels& labels) const {
+  const CounterSample* s = FindCounter(name, labels);
+  return s == nullptr ? 0 : s->value;
+}
+
+uint64_t MetricsSnapshot::CounterTotal(const std::string& name) const {
+  uint64_t total = 0;
+  for (const CounterSample& s : counters_) {
+    if (s.id.name == name) total += s.value;
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":[";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{";
+    AppendJsonId(counters_[i].id, &out);
+    out += ",\"value\":" + std::to_string(counters_[i].value) + "}";
+  }
+  out += "],\"gauges\":[";
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{";
+    AppendJsonId(gauges_[i].id, &out);
+    out += ",\"value\":" + FormatDouble(gauges_[i].value) + "}";
+  }
+  out += "],\"histograms\":[";
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    const HistogramSample& h = histograms_[i];
+    if (i > 0) out += ",";
+    out += "{";
+    AppendJsonId(h.id, &out);
+    out += ",\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"buckets\":[";
+    bool first = true;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"le\":" + std::to_string(Histogram::BucketUpper(b)) +
+             ",\"n\":" + std::to_string(h.buckets[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const CounterSample& s : counters_) {
+    if (last_family == nullptr || *last_family != s.id.name) {
+      out += "# TYPE " + s.id.name + " counter\n";
+      last_family = &s.id.name;
+    }
+    out += s.id.name + PromLabels(s.id.labels, "", "") + " " +
+           std::to_string(s.value) + "\n";
+  }
+  last_family = nullptr;
+  for (const GaugeSample& s : gauges_) {
+    if (last_family == nullptr || *last_family != s.id.name) {
+      out += "# TYPE " + s.id.name + " gauge\n";
+      last_family = &s.id.name;
+    }
+    out += s.id.name + PromLabels(s.id.labels, "", "") + " " +
+           FormatDouble(s.value) + "\n";
+  }
+  last_family = nullptr;
+  for (const HistogramSample& h : histograms_) {
+    if (last_family == nullptr || *last_family != h.id.name) {
+      out += "# TYPE " + h.id.name + " histogram\n";
+      last_family = &h.id.name;
+    }
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      out += h.id.name + "_bucket" +
+             PromLabels(h.id.labels, "le",
+                        std::to_string(Histogram::BucketUpper(b))) +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += h.id.name + "_bucket" + PromLabels(h.id.labels, "le", "+Inf") + " " +
+           std::to_string(h.count) + "\n";
+    out += h.id.name + "_sum" + PromLabels(h.id.labels, "", "") + " " +
+           std::to_string(h.sum) + "\n";
+    out += h.id.name + "_count" + PromLabels(h.id.labels, "", "") + " " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+template <typename M>
+M* MetricsRegistry::GetOrCreate(std::vector<Entry<M>>* entries,
+                                const std::string& name, MetricLabels labels) {
+  SortLabels(&labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry<M>& e : *entries) {
+    if (e.id.name == name && e.id.labels == labels) return e.metric.get();
+  }
+  entries->push_back(Entry<M>{MetricId{name, std::move(labels)},
+                              std::unique_ptr<M>(new M())});
+  return entries->back().metric.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     MetricLabels labels) {
+  return GetOrCreate(&counters_, name, std::move(labels));
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, MetricLabels labels) {
+  return GetOrCreate(&gauges_, name, std::move(labels));
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         MetricLabels labels) {
+  return GetOrCreate(&histograms_, name, std::move(labels));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.counters_.reserve(counters_.size());
+    for (const auto& e : counters_) {
+      snap.counters_.push_back(CounterSample{e.id, e.metric->Value()});
+    }
+    snap.gauges_.reserve(gauges_.size());
+    for (const auto& e : gauges_) {
+      snap.gauges_.push_back(GaugeSample{e.id, e.metric->Value()});
+    }
+    snap.histograms_.reserve(histograms_.size());
+    for (const auto& e : histograms_) {
+      HistogramSample h;
+      h.id = e.id;
+      h.sum = e.metric->Sum();
+      uint64_t count = 0;
+      for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+        h.buckets[b] = e.metric->buckets_[b].load(std::memory_order_relaxed);
+        count += h.buckets[b];
+      }
+      h.count = count;
+      snap.histograms_.push_back(std::move(h));
+    }
+  }
+  auto by_id = [](const auto& a, const auto& b) { return IdLess(a.id, b.id); };
+  std::sort(snap.counters_.begin(), snap.counters_.end(), by_id);
+  std::sort(snap.gauges_.begin(), snap.gauges_.end(), by_id);
+  std::sort(snap.histograms_.begin(), snap.histograms_.end(), by_id);
+  return snap;
+}
+
+}  // namespace fewstate

@@ -1,0 +1,285 @@
+#ifndef FEWSTATE_OBS_METRICS_H_
+#define FEWSTATE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fewstate {
+
+/// \brief Label dimensions of one metric instance, e.g.
+/// `{{"sketch", "count_min"}, {"shard", "2"}}`. Registration canonicalizes
+/// the order, so the same set in any order names the same instance.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Identity of one metric instance: its name plus its (sorted)
+/// labels. Names follow Prometheus conventions (`fewstate_*`, counters
+/// suffixed `_total`); every name used in `src/` must appear in the
+/// catalogue in `docs/OBSERVABILITY.md` (enforced by `scripts/check.sh`).
+struct MetricId {
+  std::string name;
+  MetricLabels labels;
+
+  bool operator==(const MetricId& other) const {
+    return name == other.name && labels == other.labels;
+  }
+};
+
+/// \brief The stripe this thread's counter increments land on — assigned
+/// once per thread from a round-robin, so concurrent writers tend to
+/// touch distinct cache lines. Exposed only for `Counter::Increment`.
+size_t ThreadMetricStripe();
+
+/// \brief Monotonic counter, safe to increment from any thread.
+///
+/// Increments land on per-thread stripes (cache-line-padded relaxed
+/// atomics picked by `ThreadMetricStripe`), so the ingest hot path pays
+/// one uncontended `fetch_add`; `Value()` aggregates the stripes on
+/// demand — the read side pays, not the writers. Obtain instances from
+/// `MetricsRegistry::GetCounter`; pointers stay valid for the registry's
+/// lifetime, so engines resolve names once and hold the pointer on hot
+/// paths.
+class Counter {
+ public:
+  /// \brief Adds `n` (relaxed; never blocks, never fences).
+  void Increment(uint64_t n = 1) {
+    cells_[ThreadMetricStripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// \brief Sum over all stripes. Monotonic across calls: stripes only
+  /// ever grow, so two successive reads never go backwards.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// \brief Stripe count (one cache line each).
+  static constexpr size_t kStripes = 8;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_;
+};
+
+/// \brief Last-writer-wins instantaneous value (queue depth, wear rate).
+///
+/// A single relaxed atomic: `Set` is a store, `Value` a load. Writers are
+/// typically one owning thread (a shard worker updating its own rate);
+/// concurrent writers are safe but race to the last value, which is the
+/// correct semantics for an instantaneous reading.
+class Gauge {
+ public:
+  /// \brief Publishes the current reading (relaxed store).
+  void Set(double value) {
+    uint64_t encoded;
+    std::memcpy(&encoded, &value, sizeof(encoded));
+    bits_.store(encoded, std::memory_order_relaxed);
+  }
+
+  /// \brief The most recently published reading (0.0 before any `Set`).
+  double Value() const {
+    const uint64_t encoded = bits_.load(std::memory_order_relaxed);
+    double value;
+    std::memcpy(&value, &encoded, sizeof(value));
+    return value;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  std::atomic<uint64_t> bits_{0};  // bit-cast double; 0 encodes 0.0
+};
+
+/// \brief Log₂-bucket histogram of nonnegative integer observations
+/// (staleness in items, batch sizes, per-cell wear).
+///
+/// Bucket 0 holds the value 0; bucket k >= 1 holds values in
+/// [2^(k-1), 2^k - 1]. `Observe` is two relaxed `fetch_add`s, safe from
+/// any thread. There is no separate count word: the count *is* the bucket
+/// sum, so a concurrent snapshot can never show count != sum-of-buckets.
+class Histogram {
+ public:
+  /// \brief Bucket count: value 0 plus one power-of-two bucket per bit.
+  static constexpr size_t kBuckets = 65;
+
+  /// \brief Records one observation (relaxed; never blocks).
+  void Observe(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// \brief The bucket index `value` lands in.
+  static size_t BucketOf(uint64_t value) {
+    if (value == 0) return 0;
+    return static_cast<size_t>(64 - __builtin_clzll(value));
+  }
+
+  /// \brief Inclusive upper bound of bucket `index` (2^index - 1; the
+  /// last bucket saturates at UINT64_MAX).
+  static uint64_t BucketUpper(size_t index) {
+    if (index == 0) return 0;
+    if (index >= 64) return UINT64_MAX;
+    return (uint64_t{1} << index) - 1;
+  }
+
+  /// \brief Observation count so far (sum of bucket loads; monotonic).
+  uint64_t Count() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) {
+      total += b.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// \brief Sum of observed values (tracked separately from the buckets;
+  /// under concurrent observation it may momentarily lag the buckets by
+  /// in-flight observations).
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief One counter reading in a `MetricsSnapshot`.
+struct CounterSample {
+  MetricId id;
+  uint64_t value = 0;
+};
+
+/// \brief One gauge reading in a `MetricsSnapshot`.
+struct GaugeSample {
+  MetricId id;
+  double value = 0.0;
+};
+
+/// \brief One histogram reading in a `MetricsSnapshot`. `count` is
+/// computed from the buckets at sample time, so
+/// `count == sum of buckets[i]` holds by construction, even while
+/// writers race the snapshot.
+struct HistogramSample {
+  MetricId id;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, Histogram::kBuckets> buckets{};
+
+  /// \brief Smallest bucket upper bound covering quantile `q` in [0, 1]
+  /// (0 on an empty histogram) — a log₂-resolution quantile estimate.
+  uint64_t QuantileUpperBound(double q) const;
+};
+
+/// \brief Immutable value snapshot of every metric in a registry at one
+/// poll, pollable mid-run.
+///
+/// Samples are sorted by (name, labels), so exports are deterministic and
+/// diffable. The snapshot owns plain values — holding or copying one
+/// never blocks writers, and its answers are bit-stable forever.
+class MetricsSnapshot {
+ public:
+  const std::vector<CounterSample>& counters() const { return counters_; }
+  const std::vector<GaugeSample>& gauges() const { return gauges_; }
+  const std::vector<HistogramSample>& histograms() const {
+    return histograms_;
+  }
+
+  /// \brief The sample for (name, labels), or nullptr.
+  const CounterSample* FindCounter(const std::string& name,
+                                   const MetricLabels& labels = {}) const;
+  const GaugeSample* FindGauge(const std::string& name,
+                               const MetricLabels& labels = {}) const;
+  const HistogramSample* FindHistogram(const std::string& name,
+                                       const MetricLabels& labels = {}) const;
+
+  /// \brief Convenience: the counter's value, or 0 when absent.
+  uint64_t CounterValue(const std::string& name,
+                        const MetricLabels& labels = {}) const;
+
+  /// \brief Sum of every counter named `name` across all label sets
+  /// (e.g. total items over all shards).
+  uint64_t CounterTotal(const std::string& name) const;
+
+  /// \brief JSON object: `{"counters": [...], "gauges": [...],
+  /// "histograms": [...]}` with per-sample name/labels/value(s); empty
+  /// histogram buckets are omitted.
+  std::string ToJson() const;
+
+  /// \brief Prometheus text exposition format (one `# TYPE` line per
+  /// metric family; histograms as cumulative `_bucket{le=...}` series
+  /// plus `_sum`/`_count`).
+  std::string ToPrometheus() const;
+
+ private:
+  friend class MetricsRegistry;
+
+  std::vector<CounterSample> counters_;
+  std::vector<GaugeSample> gauges_;
+  std::vector<HistogramSample> histograms_;
+};
+
+/// \brief Owner and directory of all metric instances — the engine-facing
+/// entry point of the observability layer.
+///
+/// `Get*` registers on first use and returns a stable pointer (same
+/// (name, labels) → same instance, whatever the label order); resolution
+/// takes a registry mutex, so resolve once at setup and hold the pointer
+/// on hot paths — increments and observations themselves never touch the
+/// registry. `Snapshot()` aggregates every instance into an immutable
+/// `MetricsSnapshot` and can be called from any thread at any time,
+/// including mid-run while workers write.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \brief The counter for (name, labels), created on first use.
+  Counter* GetCounter(const std::string& name, MetricLabels labels = {});
+
+  /// \brief The gauge for (name, labels), created on first use.
+  Gauge* GetGauge(const std::string& name, MetricLabels labels = {});
+
+  /// \brief The histogram for (name, labels), created on first use.
+  Histogram* GetHistogram(const std::string& name, MetricLabels labels = {});
+
+  /// \brief Immutable snapshot of every registered metric, pollable
+  /// mid-run from any thread.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  template <typename M>
+  struct Entry {
+    MetricId id;
+    std::unique_ptr<M> metric;
+  };
+
+  template <typename M>
+  M* GetOrCreate(std::vector<Entry<M>>* entries, const std::string& name,
+                 MetricLabels labels);
+
+  mutable std::mutex mu_;
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_OBS_METRICS_H_

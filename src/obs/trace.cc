@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace fewstate {
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local const uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+TraceRecorder::TraceRecorder(size_t max_events)
+    : max_events_(max_events), epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::NowMicros() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::Begin(const std::string& name,
+                          const std::string& category) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'B';
+  e.tid = TraceThreadId();
+  e.ts_us = NowMicros();
+  Record(std::move(e));
+}
+
+void TraceRecorder::End(const std::string& name, const std::string& category) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'E';
+  e.tid = TraceThreadId();
+  e.ts_us = NowMicros();
+  Record(std::move(e));
+}
+
+void TraceRecorder::Instant(const std::string& name,
+                            const std::string& category) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'i';
+  e.tid = TraceThreadId();
+  e.ts_us = NowMicros();
+  Record(std::move(e));
+}
+
+void TraceRecorder::Instant(const std::string& name,
+                            const std::string& category, uint64_t arg) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'i';
+  e.tid = TraceThreadId();
+  e.ts_us = NowMicros();
+  e.arg = arg;
+  e.has_arg = true;
+  Record(std::move(e));
+}
+
+void TraceRecorder::SetCurrentThreadName(const std::string& name) {
+  TraceEvent e;
+  e.name = name;
+  e.category = "__metadata";
+  e.phase = 'M';
+  e.tid = TraceThreadId();
+  e.ts_us = NowMicros();
+  Record(std::move(e));
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i > 0) out += ",";
+    if (e.phase == 'M') {
+      // Thread-name metadata: the event's own name carries the label.
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+             std::to_string(e.tid) + ",\"ts\":0,\"args\":{\"name\":\"";
+      AppendEscaped(e.name, &out);
+      out += "\"}}";
+      continue;
+    }
+    char ts[40];
+    std::snprintf(ts, sizeof(ts), "%.3f", e.ts_us);
+    out += "{\"name\":\"";
+    AppendEscaped(e.name, &out);
+    out += "\",\"cat\":\"";
+    AppendEscaped(e.category, &out);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"ts\":";
+    out += ts;
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    if (e.has_arg) out += ",\"args\":{\"value\":" + std::to_string(e.arg) + "}";
+    out += "}";
+  }
+  out += "],\"otherData\":{\"dropped_events\":" + std::to_string(dropped_) +
+         "}}";
+  return out;
+}
+
+bool TraceRecorder::WriteJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  return written == json.size() && close_rc == 0;
+}
+
+}  // namespace fewstate

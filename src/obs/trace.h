@@ -1,0 +1,122 @@
+#ifndef FEWSTATE_OBS_TRACE_H_
+#define FEWSTATE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fewstate {
+
+/// \brief Stable small integer id for the calling thread, assigned on
+/// first use from a process-wide counter. Used as the `tid` field of
+/// trace events, so traces show compact thread lanes instead of opaque
+/// pthread ids.
+uint32_t TraceThreadId();
+
+/// \brief One recorded trace event (Chrome trace event format).
+/// `phase` is the format's `ph` field: "B"/"E" span begin/end, "i"
+/// instant, "M" metadata. `ts_us` is microseconds since the recorder's
+/// construction.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'i';
+  uint32_t tid = 0;
+  double ts_us = 0.0;
+  uint64_t arg = 0;
+  bool has_arg = false;
+};
+
+/// \brief Structured event tracer emitting Chrome-trace-format JSON,
+/// loadable in Perfetto / `chrome://tracing`.
+///
+/// Engines record coarse-grained events — batch drains, checkpoint
+/// capture/publish, merges, recovery replay, policy triggers, source
+/// errors — so recording takes a short mutex hold per event, never per
+/// item. Spans are "B"/"E" pairs matched LIFO per thread (use
+/// `TraceSpan` to guarantee pairing); timestamps come from one
+/// steady_clock epoch shared by all threads. The buffer is bounded:
+/// past `max_events`, events are dropped and counted in
+/// `dropped_events()` — and reported in the JSON — rather than growing
+/// without limit or failing silently.
+class TraceRecorder {
+ public:
+  /// \brief `max_events` bounds the in-memory buffer.
+  explicit TraceRecorder(size_t max_events = 1u << 20);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// \brief Opens a span on the calling thread. Every `Begin` must be
+  /// closed by `End` on the same thread, innermost first; prefer
+  /// `TraceSpan`.
+  void Begin(const std::string& name, const std::string& category);
+
+  /// \brief Closes the innermost open span on the calling thread.
+  void End(const std::string& name, const std::string& category);
+
+  /// \brief Records a point-in-time event (policy trigger, source
+  /// error), optionally carrying one numeric argument.
+  void Instant(const std::string& name, const std::string& category);
+  void Instant(const std::string& name, const std::string& category,
+               uint64_t arg);
+
+  /// \brief Names the calling thread's lane in trace viewers (emits a
+  /// metadata event).
+  void SetCurrentThreadName(const std::string& name);
+
+  /// \brief Events dropped because the buffer was full.
+  uint64_t dropped_events() const;
+
+  /// \brief Events currently buffered.
+  size_t event_count() const;
+
+  /// \brief Chrome trace JSON:
+  /// `{"traceEvents": [...], "otherData": {...}}`. Safe to call while
+  /// other threads record (they serialize on the buffer mutex).
+  std::string ToJson() const;
+
+  /// \brief Writes `ToJson()` to `path`; returns false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  void Record(TraceEvent event);
+  double NowMicros() const;
+
+  const size_t max_events_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+/// \brief RAII span: `Begin` on construction, `End` on destruction, so
+/// spans pair correctly on every exit path. A null recorder makes the
+/// span a no-op, which lets call sites write
+/// `TraceSpan span(options.trace, ...)` without guarding.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const std::string& name,
+            const std::string& category)
+      : recorder_(recorder), name_(name), category_(category) {
+    if (recorder_ != nullptr) recorder_->Begin(name_, category_);
+  }
+
+  ~TraceSpan() {
+    if (recorder_ != nullptr) recorder_->End(name_, category_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::string category_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_OBS_TRACE_H_

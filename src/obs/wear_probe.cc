@@ -1,0 +1,56 @@
+#include "obs/wear_probe.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "nvm/nvm_device.h"
+
+namespace fewstate {
+
+WearStats ComputeWearStats(const NvmDevice& device) {
+  WearStats stats;
+  stats.total_writes = device.total_writes();
+  stats.max_wear = device.max_cell_wear();
+  stats.worn_out_cells = device.worn_out_cells();
+
+  std::vector<uint64_t> written;
+  for (uint64_t wear : device.cell_wear()) {
+    if (wear > 0) written.push_back(wear);
+  }
+  stats.written_cells = written.size();
+  if (written.empty()) return stats;
+
+  stats.mean_wear = static_cast<double>(stats.total_writes) /
+                    static_cast<double>(written.size());
+  const size_t rank = static_cast<size_t>(
+      0.99 * static_cast<double>(written.size() - 1));
+  std::nth_element(written.begin(), written.begin() + rank, written.end());
+  stats.p99_wear = written[rank];
+  return stats;
+}
+
+void PublishWearStats(MetricsRegistry* registry, const MetricLabels& labels,
+                      const WearStats& stats) {
+  registry->GetGauge("fewstate_nvm_total_writes", labels)
+      ->Set(static_cast<double>(stats.total_writes));
+  registry->GetGauge("fewstate_nvm_max_cell_wear", labels)
+      ->Set(static_cast<double>(stats.max_wear));
+  registry->GetGauge("fewstate_nvm_p99_cell_wear", labels)
+      ->Set(static_cast<double>(stats.p99_wear));
+  registry->GetGauge("fewstate_nvm_written_cells", labels)
+      ->Set(static_cast<double>(stats.written_cells));
+  registry->GetGauge("fewstate_nvm_worn_out_cells", labels)
+      ->Set(static_cast<double>(stats.worn_out_cells));
+  registry->GetGauge("fewstate_nvm_mean_cell_wear", labels)
+      ->Set(stats.mean_wear);
+}
+
+void PublishWearHistogram(MetricsRegistry* registry, const MetricLabels& labels,
+                          const NvmDevice& device) {
+  Histogram* hist = registry->GetHistogram("fewstate_nvm_cell_wear", labels);
+  for (uint64_t wear : device.cell_wear()) {
+    if (wear > 0) hist->Observe(wear);
+  }
+}
+
+}  // namespace fewstate

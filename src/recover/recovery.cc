@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "api/mergeable.h"
+#include "obs/trace.h"
 #include "recover/restorable.h"
 
 namespace fewstate {
@@ -49,6 +50,7 @@ Status RecoverReplica(const SketchFactory& factory, const Sketch& snapshot,
   }
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
+  TraceSpan recovery_span(options.trace, "recovery", "recovery");
 
   RecoveredReplica result;
   result.sketch = factory.Make();
@@ -72,20 +74,24 @@ Status RecoverReplica(const SketchFactory& factory, const Sketch& snapshot,
   }
   const AccountantSnapshot before_restore =
       AccountantSnapshot::Of(result.sketch->accountant());
-  RestorableSketch* restorable = AsRestorable(result.sketch.get());
   Status status;
-  if (restorable != nullptr) {
-    status = restorable->RestoreFrom(snapshot);
-  } else if (MergeableSketch* mergeable = AsMergeable(result.sketch.get())) {
-    // Merge into empty ≡ copy for the linear sketches; where merges
-    // consume randomness the rebuilt replica is distribution-equivalent,
-    // not bitwise (see header).
-    status = mergeable->MergeFrom(snapshot);
-  } else {
-    return Status::FailedPrecondition(
-        "RecoverReplica: '" + factory.name() +
-        "' is neither restorable nor mergeable; nothing can load its "
-        "snapshot");
+  {
+    TraceSpan restore_span(options.trace, "recovery_restore", "recovery");
+    RestorableSketch* restorable = AsRestorable(result.sketch.get());
+    if (restorable != nullptr) {
+      status = restorable->RestoreFrom(snapshot);
+    } else if (MergeableSketch* mergeable =
+                   AsMergeable(result.sketch.get())) {
+      // Merge into empty ≡ copy for the linear sketches; where merges
+      // consume randomness the rebuilt replica is distribution-equivalent,
+      // not bitwise (see header).
+      status = mergeable->MergeFrom(snapshot);
+    } else {
+      return Status::FailedPrecondition(
+          "RecoverReplica: '" + factory.name() +
+          "' is neither restorable nor mergeable; nothing can load its "
+          "snapshot");
+    }
   }
   if (!status.ok()) return status;
   const AccountantSnapshot after_restore =
@@ -100,7 +106,10 @@ Status RecoverReplica(const SketchFactory& factory, const Sketch& snapshot,
   // from a *short* tail — state silently short of the crash point — so
   // the whole recovery is untrustworthy and must fail, not report
   // success.
-  result.report.tail_items = result.sketch->Drain(trace_tail);
+  {
+    TraceSpan replay_span(options.trace, "recovery_replay", "recovery");
+    result.report.tail_items = result.sketch->Drain(trace_tail);
+  }
   const Status tail_status = trace_tail.status();
   if (!tail_status.ok()) {
     return Status::Internal(

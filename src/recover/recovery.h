@@ -15,6 +15,9 @@
 
 namespace fewstate {
 
+// obs/trace.h — opt-in structured tracing.
+class TraceRecorder;
+
 /// \brief How `RecoverReplica` prices the rebuild.
 struct RecoveryOptions {
   /// When true, the rebuilt replica gets a fresh live NVM device minted
@@ -29,6 +32,11 @@ struct RecoveryOptions {
   /// and latency but never wear, which is exactly how `OnBulkReads` is
   /// priced. Null skips the charge (unpriced recovery).
   WriteSink* checkpoint_sink = nullptr;
+  /// Opt-in tracing (borrowed; null = off): the rebuild emits a
+  /// `recovery` span wrapping `recovery_restore` (snapshot load) and
+  /// `recovery_replay` (tail replay) child spans, so recovery cost shows
+  /// up on the same timeline as the run that preceded the crash.
+  TraceRecorder* trace = nullptr;
 };
 
 /// \brief Cost breakdown of one recovery: what it took to rebuild a

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/random.h"
+#include "obs/wear_probe.h"
 
 namespace fewstate {
 
@@ -33,16 +34,27 @@ void Accumulate(SketchRunReport* into, const SketchRunReport& delta) {
 /// Bounded FIFO of item batches between the partitioner and one shard
 /// worker. `Push` blocks when the worker is `max_batches` behind
 /// (backpressure); `Pop` blocks until a batch arrives or the queue is
-/// closed and drained.
+/// closed and drained. The optional telemetry bindings (null when metrics
+/// are off) publish the live depth, the run's high-water depth, and the
+/// number of pushes that actually blocked on backpressure; all stores
+/// happen under the queue lock the caller already pays for.
 class BatchQueue {
  public:
-  explicit BatchQueue(size_t max_batches)
-      : max_batches_(max_batches == 0 ? 1 : max_batches) {}
+  BatchQueue(size_t max_batches, Gauge* depth, Gauge* peak_depth,
+             Counter* backpressure_waits)
+      : max_batches_(max_batches == 0 ? 1 : max_batches),
+        depth_(depth),
+        peak_depth_(peak_depth),
+        backpressure_(backpressure_waits) {}
 
   void Push(Stream batch) {
     std::unique_lock<std::mutex> lock(mu_);
+    if (backpressure_ != nullptr && batches_.size() >= max_batches_) {
+      backpressure_->Increment();
+    }
     not_full_.wait(lock, [this] { return batches_.size() < max_batches_; });
     batches_.push_back(std::move(batch));
+    PublishDepth();
     not_empty_.notify_one();
   }
 
@@ -52,6 +64,7 @@ class BatchQueue {
     if (batches_.empty()) return false;
     *out = std::move(batches_.front());
     batches_.pop_front();
+    PublishDepth();
     not_full_.notify_one();
     return true;
   }
@@ -63,11 +76,24 @@ class BatchQueue {
   }
 
  private:
+  void PublishDepth() {  // callers hold mu_
+    if (depth_ == nullptr) return;
+    depth_->Set(static_cast<double>(batches_.size()));
+    if (batches_.size() > peak_seen_) {
+      peak_seen_ = batches_.size();
+      peak_depth_->Set(static_cast<double>(peak_seen_));
+    }
+  }
+
   std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Stream> batches_;
   size_t max_batches_;
+  Gauge* depth_;
+  Gauge* peak_depth_;
+  Counter* backpressure_;
+  size_t peak_seen_ = 0;
   bool closed_ = false;
 };
 
@@ -338,7 +364,19 @@ LiveNvmSink* ShardedEngine::CheckpointSink(size_t shard,
 ServingHandle ShardedEngine::Serving(const std::string& name) const {
   const size_t i = IndexOf(name);
   if (i >= entries_.size()) return ServingHandle();
-  return ServingHandle(serving_[i].get(), shard_progress_.get());
+  // With metrics attached, bind the handle's serving telemetry: staleness
+  // of every complete view acquired, and an acquire counter. Reader
+  // threads feed these with relaxed atomics only.
+  Histogram* staleness = nullptr;
+  Counter* acquires = nullptr;
+  if (options_.metrics != nullptr) {
+    staleness = options_.metrics->GetHistogram("fewstate_view_staleness_items",
+                                               {{"sketch", name}});
+    acquires = options_.metrics->GetCounter("fewstate_view_acquires_total",
+                                            {{"sketch", name}});
+  }
+  return ServingHandle(serving_[i].get(), shard_progress_.get(), staleness,
+                       acquires);
 }
 
 ShardedRunReport ShardedEngine::Run(const Stream& stream) {
@@ -359,6 +397,9 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
 
   const bool checkpointing = policy_.enabled();
   const bool serving = options_.serve_snapshots;
+  MetricsRegistry* const metrics = options_.metrics;
+  TraceRecorder* const trace = options_.trace;
+  TraceSpan run_span(trace, "sharded_run", "engine");
 
   // A new run starts from zero published state: clear every publication
   // slot and progress counter. Readers holding views from a previous run
@@ -388,6 +429,8 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   ckpt_sinks_.resize(num_shards);
   dirty_.clear();
   dirty_.resize(num_shards);
+  meters_.clear();
+  meters_.resize(num_shards);
   tee_sinks_.clear();
   tee_sinks_.resize(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
@@ -396,6 +439,7 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
     nvm_sinks_[s].resize(num_sketches);
     ckpt_sinks_[s].resize(num_sketches);
     dirty_[s].resize(num_sketches);
+    meters_[s].resize(num_sketches);
     tee_sinks_[s].resize(num_sketches);
     for (size_t i = 0; i < num_sketches; ++i) {
       const Entry& e = entries_[i];
@@ -413,18 +457,21 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
           dirty_[s][i] = std::make_unique<DirtyTracker>();
         }
       }
-      WriteSink* sink = nullptr;
-      if (nvm_sinks_[s][i] != nullptr && dirty_[s][i] != nullptr) {
-        tee_sinks_[s][i] = std::make_unique<TeeSink>(std::vector<WriteSink*>{
-            dirty_[s][i].get(), nvm_sinks_[s][i].get()});
-        sink = tee_sinks_[s][i].get();
-      } else if (nvm_sinks_[s][i] != nullptr) {
-        sink = nvm_sinks_[s][i].get();
-      } else if (dirty_[s][i] != nullptr) {
-        sink = dirty_[s][i].get();
+      if (metrics != nullptr) {
+        // Telemetry tap: counts the device-visible write stream; drained
+        // into registry counters at batch boundaries by the worker.
+        meters_[s][i] = std::make_unique<MeteringSink>();
       }
-      if (sink != nullptr) {
-        replicas_[s][i]->mutable_accountant()->set_write_sink(sink);
+      std::vector<WriteSink*> chain;
+      if (dirty_[s][i] != nullptr) chain.push_back(dirty_[s][i].get());
+      if (nvm_sinks_[s][i] != nullptr) chain.push_back(nvm_sinks_[s][i].get());
+      if (meters_[s][i] != nullptr) chain.push_back(meters_[s][i].get());
+      if (chain.size() == 1) {
+        replicas_[s][i]->mutable_accountant()->set_write_sink(chain[0]);
+      } else if (chain.size() > 1) {
+        tee_sinks_[s][i] = std::make_unique<TeeSink>(chain);
+        replicas_[s][i]->mutable_accountant()->set_write_sink(
+            tee_sinks_[s][i].get());
       }
     }
   }
@@ -454,10 +501,97 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   // the only thread touching its shard's replicas (and their accountants)
   // between thread start and join, so state stays thread-confined; the
   // queue provides the ordering handoff for the batches themselves.
+  // Telemetry bindings, resolved once against the registry here so the
+  // workers' batch-boundary publishes touch only held pointers (plus
+  // their own plain delta cursors) — never the registry mutex.
+  struct SketchTele {
+    Counter* state_changes = nullptr;
+    Counter* word_writes = nullptr;
+    Gauge* change_rate = nullptr;
+    Gauge* wear_rate = nullptr;
+    Gauge* live_max_wear = nullptr;  // live device attached only
+    Counter* ckpt_full = nullptr;    // checkpointing only, likewise below
+    Counter* ckpt_delta = nullptr;
+    Counter* ckpt_words = nullptr;
+    Counter* published = nullptr;
+    uint64_t last_changes = 0;  // worker-local meter cursors
+    uint64_t last_writes = 0;
+  };
+  struct ShardTele {
+    Counter* items = nullptr;
+    Counter* batches = nullptr;
+  };
+  std::vector<std::vector<SketchTele>> tele;  // [shard][sketch]
+  std::vector<ShardTele> shard_tele;
+  Counter* items_total_counter = nullptr;
+  if (metrics != nullptr) {
+    tele.assign(num_shards, std::vector<SketchTele>(num_sketches));
+    shard_tele.resize(num_shards);
+    items_total_counter = metrics->GetCounter("fewstate_items_ingested_total");
+    for (size_t s = 0; s < num_shards; ++s) {
+      const std::string shard_label = std::to_string(s);
+      shard_tele[s].items = metrics->GetCounter("fewstate_shard_items_total",
+                                                {{"shard", shard_label}});
+      shard_tele[s].batches = metrics->GetCounter(
+          "fewstate_batches_drained_total", {{"shard", shard_label}});
+      for (size_t i = 0; i < num_sketches; ++i) {
+        const std::string& name = entries_[i].factory.name();
+        const MetricLabels labels{{"shard", shard_label}, {"sketch", name}};
+        SketchTele& t = tele[s][i];
+        t.state_changes =
+            metrics->GetCounter("fewstate_sketch_state_changes_total", labels);
+        t.word_writes =
+            metrics->GetCounter("fewstate_sketch_word_writes_total", labels);
+        t.change_rate =
+            metrics->GetGauge("fewstate_sketch_change_rate", labels);
+        t.wear_rate = metrics->GetGauge("fewstate_sketch_wear_rate", labels);
+        if (entries_[i].has_nvm) {
+          t.live_max_wear =
+              metrics->GetGauge("fewstate_nvm_max_cell_wear",
+                                {{"shard", shard_label},
+                                 {"sketch", name},
+                                 {"device", "live"}});
+        }
+        if (checkpointing) {
+          t.ckpt_full = metrics->GetCounter(
+              "fewstate_checkpoints_total",
+              {{"shard", shard_label}, {"sketch", name}, {"kind", "full"}});
+          t.ckpt_delta = metrics->GetCounter(
+              "fewstate_checkpoints_total",
+              {{"shard", shard_label}, {"sketch", name}, {"kind", "delta"}});
+          t.ckpt_words = metrics->GetCounter(
+              "fewstate_checkpoint_word_writes_total", labels);
+          t.published = metrics->GetCounter(
+              "fewstate_snapshots_published_total", labels);
+        }
+      }
+    }
+  }
+  // Span names used per (sketch, batch); preformatted so the worker loop
+  // never concatenates strings.
+  std::vector<std::string> update_span_names;
+  if (trace != nullptr) {
+    update_span_names.reserve(num_sketches);
+    for (const Entry& e : entries_) {
+      update_span_names.push_back("update:" + e.factory.name());
+    }
+  }
+
   std::vector<std::unique_ptr<BatchQueue>> queues;
   queues.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    queues.push_back(std::make_unique<BatchQueue>(options_.max_queued_batches));
+    Gauge* depth = nullptr;
+    Gauge* peak = nullptr;
+    Counter* waits = nullptr;
+    if (metrics != nullptr) {
+      const MetricLabels labels{{"shard", std::to_string(s)}};
+      depth = metrics->GetGauge("fewstate_shard_queue_depth", labels);
+      peak = metrics->GetGauge("fewstate_shard_queue_peak_depth", labels);
+      waits =
+          metrics->GetCounter("fewstate_backpressure_waits_total", labels);
+    }
+    queues.push_back(std::make_unique<BatchQueue>(options_.max_queued_batches,
+                                                  depth, peak, waits));
   }
   // busy[s][i]: wall seconds shard s spent inside sketch i's Update calls.
   // Written only by worker s; read after join.
@@ -472,11 +606,16 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   // just the words the `DirtyTracker` saw change, which for the paper's
   // write-frugal sketches is a tiny fraction of state. Runs on shard s's
   // worker thread only; per-(s, i) state keeps workers independent.
-  auto take_checkpoint = [this, serving](size_t s, size_t i, CkptTrack* track,
-                                         uint64_t processed) {
+  auto take_checkpoint = [this, serving, metrics, trace, &tele](
+                             size_t s, size_t i, CkptTrack* track,
+                             uint64_t processed) {
     const Entry& e = entries_[i];
     Sketch* live = replicas_[s][i].get();
     DirtyTracker* dirty = dirty_[s][i].get();
+    if (trace != nullptr) {
+      trace->Instant("policy_trigger", "checkpoint", processed);
+    }
+    const uint64_t ckpt_words_before = track->acc.word_writes;
     // Delta only when the policy asks for it, the sketch supports exact
     // restores, a base snapshot exists, and the dirty fraction is below
     // the full-rewrite threshold (past it, a delta costs a rewrite
@@ -492,6 +631,10 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
       full = fraction >= policy_.full_snapshot_dirty_fraction;
     }
     const Clock::time_point t0 = Clock::now();
+    // Explicit Begin/End (not TraceSpan): the capture span must close
+    // before the publish span below opens, and the only other exits in
+    // between are aborts.
+    if (trace != nullptr) trace->Begin("checkpoint_capture", "checkpoint");
     if (full) {
       std::unique_ptr<Sketch> fresh = e.factory.Make();
       fresh->mutable_accountant()->set_write_sink(ckpt_sinks_[s][i].get());
@@ -530,13 +673,20 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
                  pre.DeltaTo(AccountantSnapshot::Of(snap->accountant())));
       ++track->delta;
     }
+    if (trace != nullptr) trace->End("checkpoint_capture", "checkpoint");
     track->acc.wall_seconds += Seconds(t0, Clock::now());
     ++track->taken;
     // The next interval's dirty set and budgets start now.
     if (dirty != nullptr) dirty->ClearDirty();
     track->writes_at_last = live->accountant().word_writes();
     track->items_at_last = processed;
+    if (metrics != nullptr) {
+      SketchTele& t = tele[s][i];
+      (full ? t.ckpt_full : t.ckpt_delta)->Increment();
+      t.ckpt_words->Increment(track->acc.word_writes - ckpt_words_before);
+    }
     if (!serving) return;
+    TraceSpan publish_span(trace, "checkpoint_publish", "checkpoint");
     // Publish the checkpoint for concurrent readers. Whenever the
     // checkpoint minted a fresh snapshot object that nothing will mutate
     // again — every checkpoint outside (kDelta && restorable) — publish
@@ -573,6 +723,7 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
     std::atomic_store(&serving_[i]->slots[s],
                       std::shared_ptr<const ShardSnapshot>(std::move(published)));
     ++track->published;
+    if (metrics != nullptr) tele[s][i].published->Increment();
   };
 
   const Clock::time_point ingest_start = Clock::now();
@@ -580,20 +731,56 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   workers.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     workers.emplace_back([this, s, num_sketches, checkpointing, serving,
-                          &queues, &busy, &ckpt, &take_checkpoint] {
+                          metrics, trace, &queues, &busy, &ckpt,
+                          &take_checkpoint, &tele, &shard_tele,
+                          &update_span_names] {
+      if (trace != nullptr) {
+        trace->SetCurrentThreadName("shard-worker-" + std::to_string(s));
+      }
       Stream batch;
       uint64_t processed = 0;
       while (queues[s]->Pop(&batch)) {
         // Blocked like StreamEngine::Run: per (sketch, batch) timing keeps
         // clock overhead negligible and the per-sketch update order
         // identical to a single-threaded pass over this shard's items.
+        if (trace != nullptr) trace->Begin("batch_drain", "ingest");
         for (size_t i = 0; i < num_sketches; ++i) {
           Sketch* sketch = replicas_[s][i].get();
+          if (trace != nullptr) trace->Begin(update_span_names[i], "update");
           const Clock::time_point t0 = Clock::now();
           for (Item item : batch) sketch->Update(item);
           busy[s][i] += Seconds(t0, Clock::now());
+          if (trace != nullptr) trace->End(update_span_names[i], "update");
         }
+        if (trace != nullptr) trace->End("batch_drain", "ingest");
         processed += batch.size();
+        // Batch-boundary telemetry drain: per-word metering stayed plain
+        // thread-confined increments; here the worker folds the deltas
+        // into the shared counters and refreshes the live rate gauges.
+        if (metrics != nullptr) {
+          shard_tele[s].items->Increment(batch.size());
+          shard_tele[s].batches->Increment();
+          const double batch_size = static_cast<double>(batch.size());
+          for (size_t i = 0; i < num_sketches; ++i) {
+            SketchTele& t = tele[s][i];
+            MeteringSink* meter = meters_[s][i].get();
+            meter->Publish();
+            const uint64_t changes = meter->state_changes();
+            const uint64_t writes = meter->word_writes();
+            t.state_changes->Increment(changes - t.last_changes);
+            t.word_writes->Increment(writes - t.last_writes);
+            t.change_rate->Set(
+                static_cast<double>(changes - t.last_changes) / batch_size);
+            t.wear_rate->Set(static_cast<double>(writes - t.last_writes) /
+                             batch_size);
+            t.last_changes = changes;
+            t.last_writes = writes;
+            if (t.live_max_wear != nullptr) {
+              t.live_max_wear->Set(static_cast<double>(
+                  nvm_sinks_[s][i]->device().max_cell_wear()));
+            }
+          }
+        }
         // Publish ingest progress *before* evaluating checkpoints, with
         // release order: any snapshot published below carries
         // items_at_checkpoint <= this store, so a reader loading slots
@@ -644,12 +831,16 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
   // and the queues' backpressure is the only buffering between a live feed
   // and the workers.
   {
+    if (trace != nullptr) trace->SetCurrentThreadName("partitioner");
     std::vector<Item> pull(options_.batch_items);
     std::vector<Stream> pending(num_shards);
     for (Stream& p : pending) p.reserve(options_.batch_items);
     report.items_ingested = ForEachBatch(
         source, pull.data(), pull.size(),
         [&](const Item* batch, size_t count) {
+          if (items_total_counter != nullptr) {
+            items_total_counter->Increment(count);
+          }
           for (size_t k = 0; k < count; ++k) {
             const Item item = batch[k];
             const size_t s = ShardOf(item);
@@ -701,18 +892,35 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
       const AccountantSnapshot pre =
           AccountantSnapshot::Of(merged->accountant());
       const Clock::time_point t0 = Clock::now();
-      for (size_t s = 1; s < num_shards; ++s) {
-        const Status status = merged->MergeFrom(*replicas_[s][i]);
-        if (!status.ok()) {
-          std::fprintf(stderr, "ShardedEngine::Run: merge of '%s' failed: %s\n",
-                       sk.name.c_str(), status.ToString().c_str());
-          std::abort();
+      {
+        TraceSpan merge_span(trace, "merge:" + sk.name, "merge");
+        for (size_t s = 1; s < num_shards; ++s) {
+          const Status status = merged->MergeFrom(*replicas_[s][i]);
+          if (!status.ok()) {
+            std::fprintf(stderr,
+                         "ShardedEngine::Run: merge of '%s' failed: %s\n",
+                         sk.name.c_str(), status.ToString().c_str());
+            std::abort();
+          }
         }
       }
       sk.merge = pre.DeltaTo(AccountantSnapshot::Of(merged->accountant()));
       sk.merge.name = sk.name;
       sk.merge.wall_seconds = Seconds(t0, Clock::now());
       Accumulate(&sk.total, sk.merge);
+      // Merge traffic is deliberately kept out of the per-shard ingest
+      // counters (those reconcile exactly with per_shard report rows);
+      // it gets its own per-sketch family.
+      if (metrics != nullptr) {
+        metrics
+            ->GetCounter("fewstate_merge_word_writes_total",
+                         {{"sketch", sk.name}})
+            ->Increment(sk.merge.word_writes);
+        metrics
+            ->GetCounter("fewstate_merge_state_changes_total",
+                         {{"sketch", sk.name}})
+            ->Increment(sk.merge.state_changes);
+      }
     }
   }
   report.merge_seconds = Seconds(merge_start, Clock::now());
@@ -774,6 +982,41 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
     for (const SketchRunReport& p : sk.per_shard) {
       sk.total.peak_allocated_words += p.peak_allocated_words;
     }
+  }
+
+  // End-of-run device introspection: full wear summaries (max/p99/mean
+  // over written cells) for every attached device, published under the
+  // same labels the workers' live gauges used. O(cells) per device, paid
+  // once, after the timed phases.
+  if (metrics != nullptr) {
+    for (size_t i = 0; i < num_sketches; ++i) {
+      const std::string& name = entries_[i].factory.name();
+      for (size_t s = 0; s < num_shards; ++s) {
+        const std::string shard_label = std::to_string(s);
+        if (nvm_sinks_[s][i] != nullptr) {
+          PublishWearStats(metrics,
+                           {{"shard", shard_label},
+                            {"sketch", name},
+                            {"device", "live"}},
+                           ComputeWearStats(nvm_sinks_[s][i]->device()));
+        }
+        if (ckpt_sinks_[s][i] != nullptr) {
+          PublishWearStats(metrics,
+                           {{"shard", shard_label},
+                            {"sketch", name},
+                            {"device", "checkpoint"}},
+                           ComputeWearStats(ckpt_sinks_[s][i]->device()));
+        }
+      }
+    }
+  }
+  // Source failures surface loudly in telemetry too: callers already get
+  // status() — operators watching mid-run get the counter and instant.
+  if (!source.status().ok()) {
+    if (metrics != nullptr) {
+      metrics->GetCounter("fewstate_source_errors_total")->Increment();
+    }
+    if (trace != nullptr) trace->Instant("source_error", "source");
   }
 
   report.wall_seconds = Seconds(run_start, Clock::now());

@@ -13,6 +13,9 @@
 #include "common/status.h"
 #include "common/stream_types.h"
 #include "nvm/live_sink.h"
+#include "obs/metering_sink.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recover/checkpoint_policy.h"
 #include "recover/restorable.h"
 #include "shard/sketch_factory.h"
@@ -77,6 +80,25 @@ struct ShardedEngineOptions {
   /// loads). Off by default: non-serving runs are bit-identical to
   /// pre-serving behaviour.
   bool serve_snapshots = false;
+  /// Opt-in live telemetry (borrowed; must outlive the engine). When set,
+  /// every `Run` registers and feeds the `fewstate_*` metric families
+  /// catalogued in `docs/OBSERVABILITY.md`: per-shard item/batch counters
+  /// and queue depth/backpressure gauges, per-(shard, sketch)
+  /// state-change and word-write counters with live change-rate /
+  /// wear-rate gauges (fed by a `MeteringSink` tee'd into each replica's
+  /// sink chain and drained at batch boundaries — the per-word path stays
+  /// free of atomics), checkpoint/publication counters, NVM wear gauges,
+  /// and — via `Serving()` handles — view staleness histograms. A
+  /// `MetricsRegistry::Snapshot()` polled from any thread mid-run sees
+  /// live values; end-of-run counter totals reconcile exactly with the
+  /// `ShardedRunReport`. Null (default): zero instrumentation overhead.
+  MetricsRegistry* metrics = nullptr;
+  /// Opt-in structured tracer (borrowed; must outlive the engine). When
+  /// set, `Run` emits Chrome-trace spans for batch drains, per-sketch
+  /// update epochs, checkpoint capture/publish, and merges, plus instant
+  /// events for checkpoint-policy triggers and source errors. Null
+  /// (default): no events.
+  TraceRecorder* trace = nullptr;
 };
 
 /// \brief Per-sketch outcome of one `ShardedEngine::Run`.
@@ -294,9 +316,12 @@ class ShardedEngine {
   //           dirty-words trigger;
   //   tee_sinks_: fan-out when a replica needs both a device and a
   //               tracker.
+  //   meters_: telemetry tap counting each replica's device-visible
+  //            writes (present iff options_.metrics).
   std::vector<std::vector<std::unique_ptr<LiveNvmSink>>> nvm_sinks_;
   std::vector<std::vector<std::unique_ptr<LiveNvmSink>>> ckpt_sinks_;
   std::vector<std::vector<std::unique_ptr<DirtyTracker>>> dirty_;
+  std::vector<std::vector<std::unique_ptr<MeteringSink>>> meters_;
   std::vector<std::vector<std::unique_ptr<TeeSink>>> tee_sinks_;
   // replicas_[shard][sketch]; rebuilt by each Run and kept for queries.
   std::vector<std::vector<std::unique_ptr<Sketch>>> replicas_;

@@ -19,6 +19,13 @@ SnapshotView ServingHandle::Acquire() const {
   for (size_t s = 0; s < shards; ++s) {
     view.progress_[s] = progress_[s].load(std::memory_order_acquire);
   }
+  // Serving telemetry (opt-in): count the acquire, and record staleness
+  // for complete views — an incomplete view's missing shards make
+  // items_behind() meaningless as a staleness figure.
+  if (acquires_ != nullptr) acquires_->Increment();
+  if (staleness_ != nullptr && view.complete()) {
+    staleness_->Observe(view.items_behind());
+  }
   return view;
 }
 

@@ -8,6 +8,7 @@
 
 #include "api/sketch.h"
 #include "common/stream_types.h"
+#include "obs/metrics.h"
 
 namespace fewstate {
 
@@ -128,6 +129,14 @@ class SnapshotView {
 /// call `Acquire()` whenever a fresh consistent view is wanted. Acquiring
 /// never blocks ingest: it is S `shared_ptr` atomic loads plus S relaxed
 /// counter reads, with no engine-level lock anywhere on the path.
+///
+/// When the engine runs with `ShardedEngineOptions::metrics`, the handle
+/// also feeds serving telemetry: every `Acquire` bumps
+/// `fewstate_view_acquires_total{sketch}`, and every *complete* view's
+/// `items_behind()` lands in the `fewstate_view_staleness_items{sketch}`
+/// histogram (incomplete views have no meaningful staleness — some
+/// shard's items are not visible at all). Both are relaxed-atomic, so
+/// reader threads stay lock-free.
 class ServingHandle {
  public:
   /// \brief An invalid handle; `ok()` is false and `Acquire()` returns an
@@ -145,11 +154,18 @@ class ServingHandle {
   friend class ShardedEngine;
 
   ServingHandle(const SketchServingSlots* slots,
-                const std::atomic<uint64_t>* progress)
-      : slots_(slots), progress_(progress) {}
+                const std::atomic<uint64_t>* progress,
+                Histogram* staleness = nullptr, Counter* acquires = nullptr)
+      : slots_(slots),
+        progress_(progress),
+        staleness_(staleness),
+        acquires_(acquires) {}
 
   const SketchServingSlots* slots_ = nullptr;      // owned by the engine
   const std::atomic<uint64_t>* progress_ = nullptr;  // [shards] array
+  // Optional telemetry (engine-owned registry); null when metrics are off.
+  Histogram* staleness_ = nullptr;
+  Counter* acquires_ = nullptr;
 };
 
 }  // namespace fewstate

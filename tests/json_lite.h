@@ -1,0 +1,203 @@
+#ifndef FEWSTATE_TESTS_JSON_LITE_H_
+#define FEWSTATE_TESTS_JSON_LITE_H_
+
+// Minimal strict JSON parser for test assertions only — enough to check
+// that the observability exporters (metrics JSON, Chrome trace JSON)
+// emit well-formed documents with the right shape, without pulling a
+// JSON dependency into the build. Rejects trailing garbage, unterminated
+// strings/containers, and bad escapes; numbers parse via strtod.
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fewstate {
+namespace json_lite {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // First member named `key`, or nullptr (also nullptr on non-objects).
+  const Value* Get(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& member : object) {
+      if (member.first == key) return &member.second;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(Value* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t n = std::string(literal).size();
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0'
+                                : (std::tolower(h) - 'a' + 10));
+          }
+          // Tests only need escape validity, not full UTF-16 decoding.
+          *out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(Value* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(start, &end);
+    if (end == start) return false;
+    out->kind = Value::Kind::kNumber;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  bool ParseValue(Value* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = Value::Kind::kObject;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        SkipSpace();
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        Value member;
+        if (!ParseValue(&member)) return false;
+        out->object.emplace_back(std::move(key), std::move(member));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = Value::Kind::kArray;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        Value element;
+        if (!ParseValue(&element)) return false;
+        out->array.push_back(std::move(element));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = Value::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't') {
+      out->kind = Value::Kind::kBool;
+      out->bool_value = true;
+      return ConsumeLiteral("true");
+    }
+    if (c == 'f') {
+      out->kind = Value::Kind::kBool;
+      out->bool_value = false;
+      return ConsumeLiteral("false");
+    }
+    if (c == 'n') {
+      out->kind = Value::Kind::kNull;
+      return ConsumeLiteral("null");
+    }
+    return ParseNumber(out);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline bool Parse(const std::string& text, Value* out) {
+  return Parser(text).Parse(out);
+}
+
+}  // namespace json_lite
+}  // namespace fewstate
+
+#endif  // FEWSTATE_TESTS_JSON_LITE_H_

@@ -1,0 +1,296 @@
+// The metrics registry: create-on-first-use identity with canonicalized
+// labels, striped counters whose reads are monotonic, log2 histograms
+// whose snapshot count always equals the bucket sum (by construction,
+// even under racing writers), immutable snapshots, and well-formed
+// JSON / Prometheus exports. The concurrency suite is the TSan target:
+// writer threads hammer the same counter and histogram instances while a
+// reader polls snapshots mid-flight.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_lite.h"
+
+namespace fewstate {
+namespace {
+
+TEST(MetricsRegistry, SameNameAndLabelsResolveToOneInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("fewstate_test_total", {{"k", "v"}});
+  Counter* b = registry.GetCounter("fewstate_test_total", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  // Label order is canonicalized at registration: the same set in any
+  // order names the same instance.
+  Gauge* g1 = registry.GetGauge("fewstate_test_gauge",
+                                {{"shard", "0"}, {"sketch", "cm"}});
+  Gauge* g2 = registry.GetGauge("fewstate_test_gauge",
+                                {{"sketch", "cm"}, {"shard", "0"}});
+  EXPECT_EQ(g1, g2);
+  // Different labels (or none) are distinct instances.
+  EXPECT_NE(a, registry.GetCounter("fewstate_test_total", {{"k", "w"}}));
+  EXPECT_NE(a, registry.GetCounter("fewstate_test_total"));
+  // Same name as a counter but a different type is its own namespace.
+  Histogram* h = registry.GetHistogram("fewstate_test_hist");
+  EXPECT_NE(h, nullptr);
+}
+
+TEST(MetricsRegistry, PointersSurviveLaterRegistrations) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("fewstate_first_total");
+  first->Increment(7);
+  // Force internal vector growth; the Entry holds the metric by
+  // unique_ptr, so `first` must stay valid and keep its value.
+  for (int i = 0; i < 200; ++i) {
+    registry.GetCounter("fewstate_churn_total", {{"i", std::to_string(i)}});
+  }
+  EXPECT_EQ(first->Value(), 7u);
+  EXPECT_EQ(first, registry.GetCounter("fewstate_first_total"));
+}
+
+TEST(Counter, AggregatesAcrossStripesAndStaysMonotonic) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("fewstate_inc_total");
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  // Increments from other threads land on (potentially) other stripes
+  // and must still aggregate.
+  std::thread t([c] { c->Increment(58); });
+  t.join();
+  EXPECT_EQ(c->Value(), 100u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("fewstate_g");
+  EXPECT_EQ(g->Value(), 0.0);
+  g->Set(2.5);
+  EXPECT_EQ(g->Value(), 2.5);
+  g->Set(-0.125);
+  EXPECT_EQ(g->Value(), -0.125);
+}
+
+TEST(Histogram, BucketBoundariesAreLog2) {
+  // Bucket 0 holds exactly the value 0; bucket k >= 1 holds
+  // [2^(k-1), 2^k - 1].
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), 64u);
+  EXPECT_EQ(Histogram::BucketUpper(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpper(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpper(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpper(64), UINT64_MAX);
+  // Every value is <= its bucket's upper bound and > the previous one's.
+  for (uint64_t v : {uint64_t{1}, uint64_t{5}, uint64_t{4096},
+                     uint64_t{1} << 40}) {
+    const size_t k = Histogram::BucketOf(v);
+    EXPECT_LE(v, Histogram::BucketUpper(k));
+    EXPECT_GT(v, Histogram::BucketUpper(k - 1));
+  }
+}
+
+TEST(Histogram, CountAndSumTrackObservations) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("fewstate_h");
+  h->Observe(0);
+  h->Observe(1);
+  h->Observe(1000);
+  EXPECT_EQ(h->Count(), 3u);
+  EXPECT_EQ(h->Sum(), 1001u);
+}
+
+TEST(Snapshot, QuantileUpperBoundWalksBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("fewstate_q");
+  for (int i = 0; i < 90; ++i) h->Observe(1);       // bucket 1 (upper 1)
+  for (int i = 0; i < 9; ++i) h->Observe(100);      // bucket 7 (upper 127)
+  h->Observe(100000);                               // bucket 17
+  const MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSample* s = snap.FindHistogram("fewstate_q");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 100u);
+  EXPECT_EQ(s->QuantileUpperBound(0.0), 1u);
+  EXPECT_EQ(s->QuantileUpperBound(0.5), 1u);
+  EXPECT_EQ(s->QuantileUpperBound(0.95), 127u);
+  EXPECT_EQ(s->QuantileUpperBound(1.0), Histogram::BucketUpper(17));
+  HistogramSample empty;
+  EXPECT_EQ(empty.QuantileUpperBound(0.99), 0u);
+}
+
+TEST(Snapshot, FindAndTotalsAndImmutability) {
+  MetricsRegistry registry;
+  registry.GetCounter("fewstate_items_total", {{"shard", "0"}})->Increment(10);
+  registry.GetCounter("fewstate_items_total", {{"shard", "1"}})->Increment(32);
+  registry.GetGauge("fewstate_depth", {{"shard", "0"}})->Set(3.0);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("fewstate_items_total", {{"shard", "0"}}), 10u);
+  EXPECT_EQ(snap.CounterValue("fewstate_items_total", {{"shard", "1"}}), 32u);
+  EXPECT_EQ(snap.CounterValue("fewstate_items_total", {{"shard", "9"}}), 0u);
+  EXPECT_EQ(snap.CounterTotal("fewstate_items_total"), 42u);
+  const GaugeSample* g = snap.FindGauge("fewstate_depth", {{"shard", "0"}});
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, 3.0);
+
+  // The snapshot is a value copy: later writes don't reach into it.
+  registry.GetCounter("fewstate_items_total", {{"shard", "0"}})->Increment(99);
+  EXPECT_EQ(snap.CounterValue("fewstate_items_total", {{"shard", "0"}}), 10u);
+}
+
+TEST(Snapshot, JsonExportIsWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("fewstate_a_total", {{"sketch", "cm\"quote"}})
+      ->Increment(5);
+  registry.GetGauge("fewstate_b")->Set(1.5);
+  registry.GetHistogram("fewstate_c")->Observe(3);
+
+  json_lite::Value root;
+  ASSERT_TRUE(json_lite::Parse(registry.Snapshot().ToJson(), &root))
+      << registry.Snapshot().ToJson();
+  ASSERT_TRUE(root.is_object());
+  const json_lite::Value* counters = root.Get("counters");
+  const json_lite::Value* gauges = root.Get("gauges");
+  const json_lite::Value* histograms = root.Get("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_TRUE(counters->is_array());
+  ASSERT_EQ(counters->array.size(), 1u);
+  const json_lite::Value& c = counters->array[0];
+  ASSERT_NE(c.Get("name"), nullptr);
+  EXPECT_EQ(c.Get("name")->string_value, "fewstate_a_total");
+  ASSERT_NE(c.Get("labels"), nullptr);
+  EXPECT_EQ(c.Get("labels")->Get("sketch")->string_value, "cm\"quote");
+  EXPECT_EQ(c.Get("value")->number, 5.0);
+  const json_lite::Value& h = histograms->array[0];
+  EXPECT_EQ(h.Get("count")->number, 1.0);
+  EXPECT_EQ(h.Get("sum")->number, 3.0);
+  ASSERT_TRUE(h.Get("buckets")->is_array());
+}
+
+TEST(Snapshot, PrometheusExportHasTypesAndCumulativeBuckets) {
+  MetricsRegistry registry;
+  registry.GetCounter("fewstate_a_total", {{"shard", "0"}})->Increment(5);
+  registry.GetGauge("fewstate_b")->Set(1.5);
+  Histogram* h = registry.GetHistogram("fewstate_c");
+  h->Observe(0);
+  h->Observe(3);
+
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("# TYPE fewstate_a_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fewstate_a_total{shard=\"0\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fewstate_b gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fewstate_c histogram"), std::string::npos);
+  // Cumulative buckets: le="0" sees the zero observation, le="3" both,
+  // +Inf always equals the count.
+  EXPECT_NE(text.find("fewstate_c_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("fewstate_c_bucket{le=\"3\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("fewstate_c_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("fewstate_c_sum 3"), std::string::npos);
+  EXPECT_NE(text.find("fewstate_c_count 2"), std::string::npos);
+}
+
+// The TSan suite: concurrent writers against one counter and one
+// histogram while a reader polls. Every snapshot must be internally
+// consistent (count == sum of buckets by construction) and successive
+// counter reads monotonic; no data race may be reported.
+TEST(MetricsConcurrency, WritersAndPollerRaceCleanly) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("fewstate_race_total");
+  Histogram* histogram = registry.GetHistogram("fewstate_race_hist");
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+
+  std::atomic<bool> done{false};
+  std::vector<MetricsSnapshot> polled;
+  std::thread reader([&] {
+    uint64_t last_counter = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      MetricsSnapshot snap = registry.Snapshot();
+      const uint64_t now = snap.CounterValue("fewstate_race_total");
+      ASSERT_GE(now, last_counter) << "counter went backwards";
+      last_counter = now;
+      const HistogramSample* h = snap.FindHistogram("fewstate_race_hist");
+      if (h != nullptr) {
+        uint64_t bucket_sum = 0;
+        for (uint64_t b : h->buckets) bucket_sum += b;
+        ASSERT_EQ(h->count, bucket_sum);
+      }
+      if (polled.size() < 64) polled.push_back(std::move(snap));
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        counter->Increment();
+        histogram->Observe((i + static_cast<uint64_t>(w)) % 1000);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter->Value(), kWriters * kPerWriter);
+  EXPECT_EQ(histogram->Count(), kWriters * kPerWriter);
+  const MetricsSnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.CounterValue("fewstate_race_total"),
+            kWriters * kPerWriter);
+
+  // Immutability: every mid-run snapshot still answers what it answered
+  // when taken (values can only be <= the final totals).
+  uint64_t prev = 0;
+  for (const MetricsSnapshot& snap : polled) {
+    const uint64_t v = snap.CounterValue("fewstate_race_total");
+    EXPECT_LE(v, kWriters * kPerWriter);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+// Concurrent create-on-first-use: threads racing GetCounter on the same
+// and different names must agree on instances and lose no increments.
+TEST(MetricsConcurrency, RacingRegistrationResolvesConsistently) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kNames = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 200; ++round) {
+        for (int n = 0; n < kNames; ++n) {
+          registry
+              .GetCounter("fewstate_reg_total", {{"n", std::to_string(n)}})
+              ->Increment();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterTotal("fewstate_reg_total"),
+            static_cast<uint64_t>(kThreads) * 200 * kNames);
+  for (int n = 0; n < kNames; ++n) {
+    EXPECT_EQ(
+        snap.CounterValue("fewstate_reg_total", {{"n", std::to_string(n)}}),
+        static_cast<uint64_t>(kThreads) * 200);
+  }
+}
+
+}  // namespace
+}  // namespace fewstate

