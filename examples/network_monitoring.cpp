@@ -1,32 +1,35 @@
-// Elephant-flow detection on a synthetic packet feed — the paper's intro
-// workload (network traffic monitoring, [BEFK17]) — as a *live* monitor:
-// the multi-core ingest path answers operator queries while packets are
+// Elephant-flow detection on a live packet feed — the paper's intro
+// workload (network traffic monitoring, [BEFK17]) — as a real networked
+// monitor: packets arrive over an actual localhost socket and the
+// multi-core ingest path answers operator top-k queries while they are
 // still arriving.
 //
 // A router line card sees an effectively unbounded stream of packets over
 // a universe of flow ids and must report the "elephant" flows (L2 heavy
-// hitters). Here the packet feed is a lazy GeneratorSource (the stand-in
-// for a live socket: `ShardedEngine` pulls batches on demand, its bounded
-// shard queues are the backpressure boundary, and no trace vector ever
-// exists in memory), hash-partitioned across a 4-shard engine with
-// wear-aware delta checkpointing. With `serve_snapshots` on, every
-// durability checkpoint doubles as a published query snapshot: an
-// operator thread acquires lock-free point-in-time views mid-ingest and
-// watches the elephants grow, with per-view staleness (packets ingested
-// but not yet visible) reported alongside each answer. The checkpoint
-// traffic that makes this possible is metered through the same simulated
-// NVM sinks as always — serving adds no unpriced writes.
+// hitters). Here a `TraceStreamer` thread replays the synthetic feed over
+// a TCP socket into a `SocketSource` (`src/net` — UDP works identically,
+// with drops counted instead of impossible), which the 4-shard
+// `ShardedEngine` drains like any other `ItemSource`: bounded shard
+// queues are the backpressure boundary, and no trace vector ever exists
+// in memory. With `serve_snapshots` on, every wear-aware delta checkpoint
+// doubles as a published query snapshot: the operator console acquires
+// lock-free views mid-ingest — `AcquireAll` cuts the SpaceSaving and
+// CountMin views at one per-shard ordinal set, `TopK` turns the
+// identity-tracking view into the "who are the elephants?" answer — with
+// per-view staleness (packets ingested but not yet visible) reported
+// alongside. The checkpoint traffic that makes this possible is metered
+// through the same simulated NVM sinks as always — serving adds no
+// unpriced writes.
 //
-// The engine also carries a live `MetricsRegistry`: the console polls an
-// immutable `MetricsSnapshot` on the same tick as each view, so the wear
-// rate, shard queue depth, and checkpoint count printed next to the
-// estimates describe the same instant the estimates do. Console ticks are
-// paced by steady_clock deadline (`sleep_until` on an advancing deadline),
-// so a slow print doesn't smear the cadence.
-//
-// After ingest quiesces the shard replicas are merged and scored against
-// exact ground truth, with the paper's (non-mergeable) LpHeavyHitters
-// structure on the single-shard path as the wear reference point.
+// The engine also carries a live `MetricsRegistry`, shared with the
+// socket: the console polls an immutable `MetricsSnapshot` on the same
+// tick as each view, so wear rate, shard queue depth, and the kernel
+// receive-queue depth printed next to the estimates describe the same
+// instant the estimates do. After ingest quiesces the socket's status()
+// is checked — a lossy or cut feed must be reported, never silently
+// scored — and the shard replicas are merged and scored against exact
+// ground truth, with the paper's (non-mergeable) LpHeavyHitters structure
+// on the single-shard path as the wear reference point.
 
 #include <atomic>
 #include <chrono>
@@ -40,11 +43,14 @@
 #include "baselines/count_sketch.h"
 #include "baselines/space_saving.h"
 #include "core/heavy_hitters.h"
+#include "net/socket_source.h"
+#include "net/trace_streamer.h"
 #include "obs/metrics.h"
 #include "recover/checkpoint_policy.h"
 #include "shard/sharded_engine.h"
 #include "shard/sketch_factory.h"
 #include "shard/snapshot_serving.h"
+#include "shard/view_query.h"
 #include "stream/generators.h"
 #include "stream/stream_stats.h"
 
@@ -132,10 +138,9 @@ double SumGauge(const MetricsSnapshot& snap, const std::string& name) {
 
 int main() {
   // 2M packets over 100k flows; flow sizes follow a heavy-tailed Zipf(1.2)
-  // (a few elephants, many mice) — the canonical traffic model. Every
-  // consumer below pulls from its own identically-seeded lazy source, so
-  // they all see the same packets without a trace vector existing
-  // anywhere.
+  // (a few elephants, many mice) — the canonical traffic model. The oracle
+  // and reference passes pull from identically-seeded lazy sources; the
+  // monitored pass sees the same packets *over the wire*.
   const uint64_t kFlows = 100000;
   const uint64_t kPackets = 2000000;
   const uint64_t kSeed = 2024;
@@ -144,8 +149,10 @@ int main() {
   const auto PacketFeed = [&] {
     return ZipfSource(kFlows, 1.2, kPackets, kSeed);
   };
-  std::printf("synthetic feed: %llu packets over %llu flows (Zipf 1.2), "
-              "%zu-shard parallel ingest from a lazy source\n\n",
+  std::printf("live feed: %llu packets over %llu flows (Zipf 1.2), replayed "
+              "over a loopback TCP socket\ninto a %zu-shard parallel ingest "
+              "(UDP works identically; drops would be counted, not "
+              "silent)\n\n",
               (unsigned long long)kPackets, (unsigned long long)kFlows,
               kShards);
 
@@ -166,9 +173,8 @@ int main() {
       100000, CheckpointPolicy::Snapshot::kDelta);
   options.checkpoint_nvm.config.num_cells = 1 << 16;
   options.serve_snapshots = true;
-  // Live telemetry, polled by the console below on the same tick as each
-  // acquired view; per-word metering stays thread-confined in the
-  // workers, so attaching it is effectively free.
+  // Live telemetry, shared between the engine and the socket and polled by
+  // the console below on the same tick as each acquired view.
   MetricsRegistry telemetry;
   options.metrics = &telemetry;
   ShardedEngine engine(options);
@@ -179,28 +185,47 @@ int main() {
   MustOk(engine.AddSketch(SketchFactory::Of<CountMin>(
       "count_min", size_t{4}, size_t{4096}, uint64_t{9}, false)));
 
-  // The operator console: a serving handle bound before the run starts,
-  // polled from this thread while the ingest thread runs the engine.
-  const ServingHandle console = engine.Serving("count_min");
-  if (!console.ok()) return 1;
-  const size_t kWatch = elephants.size() < 3 ? elephants.size() : 3;
+  // The receiving socket: TCP keeps the replay bitwise-faithful, so the
+  // end-of-run scoring below measures the sketches, not the transport.
+  SocketSourceOptions socket_options;
+  socket_options.transport = NetTransport::kTcp;
+  socket_options.idle_timeout_ms = 10000;
+  socket_options.metrics = &telemetry;
+  SocketSource socket(socket_options);
+  if (!socket.ok()) {
+    std::fprintf(stderr, "socket setup failed: %s\n",
+                 socket.status().ToString().c_str());
+    return 1;
+  }
+
+  // The operator console: serving handles bound before the run starts,
+  // polled from this thread while the ingest thread drains the socket and
+  // the sender thread replays the feed into it.
+  const std::vector<ServingHandle> handles = {engine.Serving("space_saving"),
+                                              engine.Serving("count_min")};
+  if (!handles[0].ok() || !handles[1].ok()) return 1;
 
   std::atomic<bool> done{false};
   ShardedRunReport sharded;
+  TraceStreamerReport sent;
+  std::thread sender([&] {
+    TraceStreamerOptions streamer_options;
+    streamer_options.transport = NetTransport::kTcp;
+    streamer_options.port = socket.port();
+    sent = TraceStreamer(streamer_options).Stream(PacketFeed());
+  });
   std::thread ingest([&] {
-    sharded = engine.Run(PacketFeed());
+    sharded = engine.Run(socket);
     done.store(true, std::memory_order_release);
   });
 
-  std::printf("live console (count_min views published at each delta "
-              "checkpoint; truth in parens;\nwear/pkt and qdepth from the "
-              "metrics snapshot polled on the same tick):\n");
-  std::printf("%12s %12s %9s %6s %6s", "visible", "behind", "wear/pkt",
-              "qdepth", "ckpts");
-  for (size_t w = 0; w < kWatch; ++w) {
-    std::printf("   flow[%llu]", (unsigned long long)elephants[w]);
-  }
-  std::printf("\n");
+  std::printf("live console (AcquireAll cuts the space_saving + count_min "
+              "views at one per-shard ordinal\nset; TopK answers from the "
+              "identity-tracking view, cross-checked by count_min; truth in\n"
+              "parens; wear/pkt, shard qdepth and kernel recv-queue bytes "
+              "from the same-tick snapshot):\n");
+  std::printf("%12s %12s %9s %6s %9s   top flows (est, truth)\n", "visible",
+              "behind", "wear/pkt", "qdepth", "recvq");
   uint64_t last_visible = 0;
   int lines = 0;
   // Deadline pacing: the tick deadline advances by a fixed interval, so
@@ -212,29 +237,56 @@ int main() {
   while (!done.load(std::memory_order_acquire)) {
     std::this_thread::sleep_until(next_tick);
     next_tick += kTick;
-    const SnapshotView view = console.Acquire();
-    if (!view.complete() || view.items_visible() == last_visible) continue;
-    last_visible = view.items_visible();
+    // One consistent cut across both sketches: the candidates and the
+    // cross-check below describe the same stream prefix.
+    const ConsistentViews cut = AcquireAll(handles);
+    const SnapshotView& candidates = cut.views[0];  // space_saving
+    const SnapshotView& counts = cut.views[1];      // count_min
+    if (!cut.consistent || !candidates.complete() ||
+        candidates.items_visible() == last_visible) {
+      continue;
+    }
+    last_visible = candidates.items_visible();
     if (++lines > 12) continue;  // keep polling, stop printing
-    // One immutable metrics snapshot on the same tick as the view: the
-    // telemetry column describes the same instant the estimates do.
+    // One immutable metrics snapshot on the same tick as the views.
     const MetricsSnapshot live = telemetry.Snapshot();
-    std::printf("%12llu %12llu %9.4f %6.0f %6llu",
-                (unsigned long long)view.items_visible(),
-                (unsigned long long)view.items_behind(),
+    std::printf("%12llu %12llu %9.4f %6.0f %9.0f  ",
+                (unsigned long long)candidates.items_visible(),
+                (unsigned long long)candidates.items_behind(),
                 MaxGauge(live, "fewstate_sketch_wear_rate", "count_min"),
                 SumGauge(live, "fewstate_shard_queue_depth"),
-                (unsigned long long)live.CounterTotal(
-                    "fewstate_checkpoints_total"));
-    for (size_t w = 0; w < kWatch; ++w) {
-      std::printf(" %8.0f(%llu)", view.EstimateFrequency(elephants[w]),
-                  (unsigned long long)oracle.Frequency(elephants[w]));
+                SumGauge(live, "fewstate_net_recv_queue_bytes"));
+    // The operator question, answered mid-ingest: who are the elephants?
+    const std::vector<HeavyHitter> top = TopK(candidates, 3);
+    for (const HeavyHitter& hh : top) {
+      std::printf(" %llu:%.0f/%.0f(%llu)", (unsigned long long)hh.item,
+                  hh.estimate, counts.EstimateFrequency(hh.item),
+                  (unsigned long long)oracle.Frequency(hh.item));
     }
     std::printf("\n");
   }
   ingest.join();
+  sender.join();
 
-  std::printf("\n%zu-shard ingest: %.0f packets/sec (ingest %.2fs, merge "
+  // The transport is only trustworthy if both ends say so: a lossy or cut
+  // stream must never be scored as if it were the whole feed.
+  if (!socket.status().ok() || !sent.status.ok()) {
+    std::fprintf(stderr, "transport not clean: receiver '%s', sender '%s'\n",
+                 socket.status().ToString().c_str(),
+                 sent.status.ToString().c_str());
+    return 1;
+  }
+  const SocketSourceStats& net = socket.stats();
+  std::printf("\ntransport: %llu packets in %llu TCP frames, %.1f MiB on the "
+              "wire, %llu poll timeouts,\nsentinel %s, zero drops (status "
+              "OK)\n",
+              (unsigned long long)net.items_received,
+              (unsigned long long)net.frames_received,
+              (double)net.bytes_received / (1024.0 * 1024.0),
+              (unsigned long long)net.poll_timeouts,
+              net.sentinel_seen ? "received" : "missed");
+
+  std::printf("%zu-shard ingest: %.0f packets/sec (ingest %.2fs, merge "
               "%.3fs)\n",
               kShards, sharded.items_per_second, sharded.ingest_seconds,
               sharded.merge_seconds);
@@ -246,17 +298,20 @@ int main() {
   }
 
   // End-of-run telemetry: the same registry the console polled, now
-  // quiesced — counter totals reconcile exactly with the run report, and
-  // the end-of-run wear probe has published per-device cell-wear stats.
+  // quiesced — counter totals reconcile exactly with the run report and
+  // the socket's own tallies.
   {
     const MetricsSnapshot final_snap = telemetry.Snapshot();
     const HistogramSample* staleness = final_snap.FindHistogram(
         "fewstate_view_staleness_items", {{"sketch", "count_min"}});
-    std::printf("telemetry: %llu packets counted, worst checkpoint-device "
-                "cell wear %.0f, view staleness p99 <= %llu packets over "
-                "%llu acquires\n\n",
+    std::printf("telemetry: %llu packets counted, %llu wire bytes counted, "
+                "worst checkpoint-device\ncell wear %.0f, view staleness "
+                "p99 <= %llu packets over %llu acquires\n\n",
                 (unsigned long long)final_snap.CounterValue(
                     "fewstate_items_ingested_total"),
+                (unsigned long long)final_snap.CounterValue(
+                    "fewstate_net_bytes_received_total",
+                    {{"transport", "tcp"}}),
                 MaxGauge(final_snap, "fewstate_nvm_max_cell_wear"),
                 (unsigned long long)(staleness != nullptr
                                          ? staleness->QuantileUpperBound(0.99)
@@ -310,14 +365,17 @@ int main() {
   }
 
   std::printf(
-      "\nNotes: the console answered from published checkpoint snapshots\n"
-      "while ingest ran — no lock anywhere on the read path, staleness\n"
-      "bounded by the 100k-packet checkpoint cadence (plus one partition\n"
-      "batch per shard). state_changes aggregates all %zu shard replicas\n"
-      "plus the merge; ckpt_writes is durability wear on the simulated NVM\n"
-      "checkpoint device, unchanged by serving (delta-mode serving copies\n"
-      "are priced as bulk reads, not writes). Precision is measured against\n"
-      "the eps-threshold list; items between eps/2 and eps are legitimate\n"
+      "\nNotes: every packet crossed a real socket; the console answered\n"
+      "TopK from published checkpoint snapshots while ingest ran — no lock\n"
+      "anywhere on the read path, staleness bounded by the 100k-packet\n"
+      "checkpoint cadence (plus one partition batch per shard). TCP makes\n"
+      "the replay bitwise-faithful, so the scores measure the sketches; a\n"
+      "UDP replay reports its drops through status() and the\n"
+      "fewstate_net_* counters instead of silently shortening the stream.\n"
+      "state_changes aggregates all %zu shard replicas plus the merge;\n"
+      "ckpt_writes is durability wear on the simulated NVM checkpoint\n"
+      "device, unchanged by serving. Precision is measured against the\n"
+      "eps-threshold list; items between eps/2 and eps are legitimate\n"
       "reports under the theorem's guarantee.\n",
       kShards);
   return 0;

@@ -32,20 +32,21 @@ if grep -rnE 'set_write_log\(' bench examples; then
   exit 1
 fi
 
-# Source-error gate: a `FileSource` constructed in examples/ must have its
-# error channel consulted in the same file (`.ok()` or `.status()`). An
-# unopenable or truncated trace must be a reported failure, never an
-# empty workload that silently "succeeds".
-filesource_gate_failed=0
+# Source-error gate: a `FileSource` or `SocketSource` constructed in
+# examples/ must have its error channel consulted in the same file
+# (`.ok()` or `.status()`). An unopenable trace — or a lossy, truncated,
+# or cut network stream — must be a reported failure, never an empty or
+# short workload that silently "succeeds".
+source_gate_failed=0
 while IFS=: read -r file line decl; do
-  var=$(printf '%s' "$decl" | sed -nE 's/.*FileSource[[:space:]]+([A-Za-z_][A-Za-z0-9_]*)[[:space:]]*[({].*/\1/p')
+  var=$(printf '%s' "$decl" | sed -nE 's/.*(File|Socket)Source[[:space:]]+([A-Za-z_][A-Za-z0-9_]*)[[:space:]]*[({].*/\2/p')
   [ -n "$var" ] || continue
   if ! grep -qE "\b${var}\.(ok|status)\(" "$file"; then
-    echo "check.sh: $file:$line constructs FileSource '$var' without checking ${var}.ok()/${var}.status() — a bad trace path must fail loudly" >&2
-    filesource_gate_failed=1
+    echo "check.sh: $file:$line constructs a source '$var' without checking ${var}.ok()/${var}.status() — a bad trace path or lossy stream must fail loudly" >&2
+    source_gate_failed=1
   fi
-done < <(grep -rnE '\bFileSource[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]' examples || true)
-if [ "$filesource_gate_failed" -ne 0 ]; then
+done < <(grep -rnE '\b(File|Socket)Source[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]' examples || true)
+if [ "$source_gate_failed" -ne 0 ]; then
   exit 1
 fi
 
@@ -67,7 +68,7 @@ done
 # contract comment immediately above it (a template<> line may sit in
 # between). Forward declarations (ending in ';') are exempt.
 doc_lint_failed=0
-for header in src/api/*.h src/state/*.h src/nvm/*.h src/shard/*.h src/recover/*.h src/obs/*.h; do
+for header in src/api/*.h src/state/*.h src/nvm/*.h src/shard/*.h src/recover/*.h src/obs/*.h src/net/*.h; do
   bad=$(awk '
     /^(class|struct) [A-Z]/ && $0 !~ /;[[:space:]]*$/ {
       if (p1 !~ /^\/\/\// && !(p1 ~ /^template/ && p2 ~ /^\/\/\//)) {

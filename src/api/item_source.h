@@ -35,6 +35,12 @@ class ItemSource {
   /// \brief Fills `out[0..cap)` with up to `cap` items, in stream order,
   /// and returns the number written. Returns 0 (with `cap` > 0) exactly at
   /// end-of-stream; a call with `cap` == 0 returns 0 without consuming.
+  ///
+  /// A live adapter (`SocketSource`, `PrefetchSource`) *may block* until
+  /// items are available or end-of-stream is established — 0 still means
+  /// only end-of-stream, never "no items yet". That is what lets
+  /// `ForEachBatch` treat the first zero-length batch as the end of the
+  /// drain for every source, file-backed or live.
   virtual size_t NextBatch(Item* out, size_t cap) = 0;
 
   /// \brief Number of items remaining ahead of the cursor, when known.
@@ -113,7 +119,9 @@ class VectorSource : public ItemSource {
 /// distributions stream in O(1) memory instead of materializing
 /// (`ZipfSource` / `UniformSource` / `PermutationSource` in
 /// `stream/generators.h` and `LowerBoundSource` in `stream/adversarial.h`
-/// build on this). The stand-in for a live feed in examples and benches.
+/// build on this). For an *actual* live feed use `SocketSource` in
+/// `net/socket_source.h`; a generator is the deterministic, loss-free
+/// workload driver in examples and benches.
 class GeneratorSource : public ItemSource {
  public:
   /// \brief Stateful draw function producing the next item each call.

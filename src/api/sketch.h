@@ -2,6 +2,7 @@
 #define FEWSTATE_API_SKETCH_H_
 
 #include <string>
+#include <vector>
 
 #include "common/stream_types.h"
 #include "state/state_accountant.h"
@@ -39,6 +40,21 @@ class Sketch : public StreamingAlgorithm {
   /// `WriteSink` — a recording `WriteLog` or a `LiveNvmSink` — or `Reset`
   /// between runs).
   virtual StateAccountant* mutable_accountant() = 0;
+};
+
+/// \brief Optional capability of sketches that *track identities*: counter
+/// summaries (SpaceSaving, Misra–Gries) know which items they hold, so a
+/// top-k query can enumerate candidates instead of scanning a universe.
+/// Hash-bucket sketches (CountMin, CountSketch) store no identities and do
+/// not implement this — the `TopK`/`HeavyHitters` view queries fall back
+/// to a caller-supplied scan universe for them.
+class CandidateEnumerable {
+ public:
+  virtual ~CandidateEnumerable() = default;
+
+  /// \brief Appends every tracked item identity to `out` (duplicates
+  /// across calls/shards are fine; callers dedup). Order is unspecified.
+  virtual void AppendCandidates(std::vector<Item>* out) const = 0;
 };
 
 }  // namespace fewstate

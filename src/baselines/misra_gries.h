@@ -21,7 +21,9 @@ namespace fewstate {
 /// with additive error at most m/(k+1). Every stream update mutates the
 /// summary, so the paper's state-change metric is Theta(m) — this is the
 /// canonical "writes on every update" baseline the paper contrasts with.
-class MisraGries : public MergeableSketch, public RestorableSketch {
+class MisraGries : public MergeableSketch,
+                   public RestorableSketch,
+                   public CandidateEnumerable {
  public:
   /// \brief Creates a summary with capacity `k >= 1` counters.
   explicit MisraGries(size_t k);
@@ -55,6 +57,13 @@ class MisraGries : public MergeableSketch, public RestorableSketch {
 
   /// \brief All items whose tracked count is >= `threshold`.
   std::vector<HeavyHitter> HeavyHitters(double threshold) const;
+
+  /// \brief Appends the tracked item identities (at most `capacity()`),
+  /// the candidate set for `TopK`/`HeavyHitters` view queries.
+  void AppendCandidates(std::vector<Item>* out) const override {
+    out->reserve(out->size() + counts_.size());
+    for (const auto& entry : counts_) out->push_back(entry.first);
+  }
 
   /// \brief Number of tracked entries.
   size_t size() const { return counts_.size(); }

@@ -22,7 +22,7 @@ namespace fewstate {
 /// arrives and the summary is full, a minimum-count entry is replaced and
 /// its count inherited. Every update increments some counter, so the
 /// state-change count is Theta(m).
-class SpaceSaving : public MergeableSketch {
+class SpaceSaving : public MergeableSketch, public CandidateEnumerable {
  public:
   /// \brief Creates a summary with capacity `k >= 1` counters.
   explicit SpaceSaving(size_t k);
@@ -46,6 +46,13 @@ class SpaceSaving : public MergeableSketch {
 
   /// \brief Items whose tracked count >= `threshold`.
   std::vector<HeavyHitter> HeavyHitters(double threshold) const;
+
+  /// \brief Appends the tracked item identities (at most `capacity()`),
+  /// the candidate set for `TopK`/`HeavyHitters` view queries.
+  void AppendCandidates(std::vector<Item>* out) const override {
+    out->reserve(out->size() + counts_.size());
+    for (const auto& entry : counts_) out->push_back(entry.first);
+  }
 
   /// \brief Smallest tracked count (0 while the summary is not full).
   uint64_t min_count() const;

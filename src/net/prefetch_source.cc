@@ -1,0 +1,71 @@
+#include "net/prefetch_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fewstate {
+
+PrefetchSource::PrefetchSource(ItemSource* inner, size_t batch_items,
+                               size_t max_batches)
+    : inner_(inner),
+      batch_items_(batch_items == 0 ? 1 : batch_items),
+      max_batches_(max_batches == 0 ? 1 : max_batches) {
+  producer_ = std::thread([this] { Run(); });
+}
+
+PrefetchSource::~PrefetchSource() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  space_cv_.notify_all();
+  producer_.join();
+}
+
+void PrefetchSource::Run() {
+  Stream batch;
+  for (;;) {
+    batch.resize(batch_items_);
+    const size_t got = inner_->NextBatch(batch.data(), batch.size());
+    batch.resize(got);
+    std::unique_lock<std::mutex> lock(mu_);
+    // Snapshot the inner status under the lock so the consumer's
+    // status() never races the producer's pulls.
+    inner_status_ = inner_->status();
+    if (got == 0) {
+      producer_done_ = true;
+      ready_cv_.notify_all();
+      return;
+    }
+    space_cv_.wait(lock,
+                   [this] { return stop_ || ring_.size() < max_batches_; });
+    if (stop_) return;
+    ring_.push_back(std::move(batch));
+    ready_cv_.notify_all();
+    batch = Stream();
+  }
+}
+
+size_t PrefetchSource::NextBatch(Item* out, size_t cap) {
+  if (cap == 0) return 0;
+  if (current_pos_ == current_.size()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock, [this] { return !ring_.empty() || producer_done_; });
+    if (ring_.empty()) return 0;  // producer done, ring drained: EOS
+    current_ = std::move(ring_.front());
+    ring_.pop_front();
+    current_pos_ = 0;
+    space_cv_.notify_all();
+  }
+  const size_t n = std::min(cap, current_.size() - current_pos_);
+  std::memcpy(out, current_.data() + current_pos_, n * sizeof(Item));
+  current_pos_ += n;
+  return n;
+}
+
+Status PrefetchSource::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_status_;
+}
+
+}  // namespace fewstate

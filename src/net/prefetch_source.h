@@ -1,0 +1,79 @@
+#ifndef FEWSTATE_NET_PREFETCH_SOURCE_H_
+#define FEWSTATE_NET_PREFETCH_SOURCE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "api/item_source.h"
+#include "common/status.h"
+#include "common/stream_types.h"
+
+namespace fewstate {
+
+/// \brief A double-buffering decorator: pulls the inner source on a
+/// background thread into a bounded ring of batches, so receive and
+/// ingest overlap — put it around a `SocketSource` and datagrams keep
+/// draining from the kernel while the engine is busy hashing the previous
+/// batch. Delivery is bitwise-identical to draining the inner source
+/// directly (batch boundaries may differ; the item sequence never does).
+///
+/// The background thread starts in the constructor and owns the inner
+/// source until destruction or end-of-stream; the inner source must not
+/// be touched by anyone else while a `PrefetchSource` wraps it. The
+/// consumer side (`NextBatch`, `status`, `SizeHint`) is single-consumer,
+/// like every `ItemSource`. `status()` reports the inner source's status
+/// as of the batches delivered so far (final after `NextBatch` returns
+/// 0), so the engine's end-of-drain check still sees a lossy socket.
+class PrefetchSource : public ItemSource {
+ public:
+  /// \brief Wraps `inner` (borrowed; must outlive this object). The ring
+  /// holds at most `max_batches` pulls of up to `batch_items` items each.
+  explicit PrefetchSource(ItemSource* inner,
+                          size_t batch_items = kDefaultDrainBatchItems,
+                          size_t max_batches = 4);
+  ~PrefetchSource() override;
+  PrefetchSource(const PrefetchSource&) = delete;
+  PrefetchSource& operator=(const PrefetchSource&) = delete;
+
+  /// \brief Blocks until a prefetched batch is ready (or end-of-stream);
+  /// 0 means only end-of-stream, same contract as the inner source.
+  size_t NextBatch(Item* out, size_t cap) override;
+
+  /// \brief The inner source's status as of the batches delivered so far
+  /// (snapshotted by the background thread after every pull, so reading
+  /// it never races the producer).
+  Status status() const override;
+
+  /// \brief Always nullopt: the decorator does not forward the inner
+  /// hint, because the background thread may already have consumed items
+  /// the consumer has not seen — a count would double-promise them.
+  std::optional<uint64_t> SizeHint() const override { return std::nullopt; }
+
+ private:
+  void Run();  // background producer loop
+
+  ItemSource* inner_;
+  const size_t batch_items_;
+  const size_t max_batches_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;  // consumer waits: ring non-empty or done
+  std::condition_variable space_cv_;  // producer waits: ring has room
+  std::deque<Stream> ring_;
+  bool producer_done_ = false;  // inner hit EOS (ring may still hold batches)
+  bool stop_ = false;           // destructor asked the producer to quit
+  Status inner_status_;
+
+  Stream current_;  // batch being handed out piecewise
+  size_t current_pos_ = 0;
+
+  std::thread producer_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_NET_PREFETCH_SOURCE_H_

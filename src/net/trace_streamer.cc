@@ -1,0 +1,190 @@
+#include "net/trace_streamer.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fewstate {
+
+namespace {
+
+// How long a single UDP send keeps retrying a transiently full kernel
+// buffer (ENOBUFS/EAGAIN) before the session gives up as a socket error.
+constexpr int kUdpSendRetryLimit = 2000;
+
+Status SendError(NetTransport transport, const char* what) {
+  return Status::Internal(std::string("TraceStreamer(") +
+                          NetTransportName(transport) + "): " + what + ": " +
+                          std::strerror(errno));
+}
+
+// Writes the whole frame, looping over short writes (TCP) and retrying
+// transiently full buffers (UDP, where a connected datagram socket can
+// report ENOBUFS/EAGAIN under a fast burst — the one "loss" the sender
+// itself can avoid by waiting).
+bool SendAll(int fd, NetTransport transport, const uint8_t* data, size_t len) {
+  if (transport == NetTransport::kUdp) {
+    for (int attempt = 0; attempt < kUdpSendRetryLimit; ++attempt) {
+      const ssize_t n = send(fd, data, len, 0);
+      if (n == static_cast<ssize_t>(len)) return true;
+      if (n < 0 && (errno == ENOBUFS || errno == EAGAIN ||
+                    errno == EWOULDBLOCK || errno == EINTR)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      return false;
+    }
+    errno = ENOBUFS;
+    return false;
+  }
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Opens and connects the session socket: UDP connects immediately (it
+// just fixes the destination), TCP retries while the listener's accept
+// queue is not up yet.
+int Connect(const TraceStreamerOptions& options, Status* status) {
+  const bool udp = options.transport == NetTransport::kUdp;
+  const int fd = socket(AF_INET, udp ? SOCK_DGRAM : SOCK_STREAM, 0);
+  if (fd < 0) {
+    *status = SendError(options.transport, "socket");
+    return -1;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max(0, options.connect_timeout_ms));
+  for (;;) {
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;
+    }
+    const bool retryable =
+        !udp && (errno == ECONNREFUSED || errno == EAGAIN || errno == EINTR);
+    if (!retryable || std::chrono::steady_clock::now() >= deadline) {
+      *status = SendError(options.transport, "connect");
+      close(fd);
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace
+
+TraceStreamer::TraceStreamer(const TraceStreamerOptions& options)
+    : options_(options) {
+  if (options_.items_per_frame == 0) options_.items_per_frame = 1;
+  options_.items_per_frame =
+      std::min(options_.items_per_frame, kNetMaxFrameItems);
+  if (options_.sentinel_repeats < 1) options_.sentinel_repeats = 1;
+}
+
+TraceStreamerReport TraceStreamer::Stream(ItemSource& source) const {
+  TraceStreamerReport report;
+  const int fd = Connect(options_, &report.status);
+  if (fd < 0) return report;
+
+  std::vector<uint8_t> frame(NetFrameBytes(options_.items_per_frame));
+  std::vector<Item> batch(options_.items_per_frame);
+  NetFrameHeader header;
+  uint64_t scheduled_items = 0;  // items released by the pacing schedule
+  const auto start = std::chrono::steady_clock::now();
+
+  for (;;) {
+    // Fill one whole frame so every data frame but the last is full —
+    // the property the loss-accounting identity in the tests rests on.
+    size_t filled = 0;
+    while (filled < options_.items_per_frame) {
+      const size_t got =
+          source.NextBatch(batch.data() + filled, batch.size() - filled);
+      if (got == 0) break;
+      filled += got;
+    }
+    if (filled == 0) break;
+
+    if (options_.pace_items_per_second > 0) {
+      scheduled_items += filled;
+      // Deadline pacing: sleep until this frame's slot in the fixed-rate
+      // schedule, so one slow send doesn't smear the overall rate.
+      const auto due =
+          start + std::chrono::nanoseconds(
+                      scheduled_items * uint64_t{1000000000} /
+                      options_.pace_items_per_second);
+      std::this_thread::sleep_until(due);
+    }
+
+    header.count = static_cast<uint32_t>(filled);
+    const bool withhold = options_.drop_every_frames > 0 &&
+                          (header.sequence + 1) % options_.drop_every_frames ==
+                              0;
+    if (withhold) {
+      // Loss injection: the sequence advances but nothing is sent, so the
+      // receiver's gap accounting must find exactly this frame missing.
+      ++report.frames_withheld;
+      report.items_withheld += filled;
+      ++header.sequence;
+      continue;
+    }
+    EncodeNetFrameHeader(header, frame.data());
+    std::memcpy(frame.data() + kNetFrameHeaderBytes, batch.data(),
+                filled * sizeof(Item));
+    const size_t frame_bytes = NetFrameBytes(filled);
+    if (!SendAll(fd, options_.transport, frame.data(), frame_bytes)) {
+      report.status = SendError(options_.transport, "send");
+      close(fd);
+      return report;
+    }
+    ++report.frames_sent;
+    report.items_sent += filled;
+    report.bytes_sent += frame_bytes;
+    ++header.sequence;
+  }
+
+  if (options_.send_sentinel) {
+    header.count = 0;  // the explicit end-of-stream sentinel
+    EncodeNetFrameHeader(header, frame.data());
+    const int repeats = options_.transport == NetTransport::kUdp
+                            ? options_.sentinel_repeats
+                            : 1;
+    for (int i = 0; i < repeats; ++i) {
+      if (!SendAll(fd, options_.transport, frame.data(),
+                   kNetFrameHeaderBytes)) {
+        report.status = SendError(options_.transport, "send sentinel");
+        close(fd);
+        return report;
+      }
+      report.bytes_sent += kNetFrameHeaderBytes;
+    }
+  }
+  close(fd);
+  // A source that failed mid-replay (e.g. a FileSource read error) makes
+  // the session failed too — the receiver saw a short but well-formed
+  // stream and cannot know on its own.
+  if (report.status.ok()) report.status = source.status();
+  return report;
+}
+
+}  // namespace fewstate

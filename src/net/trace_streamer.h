@@ -1,0 +1,92 @@
+#ifndef FEWSTATE_NET_TRACE_STREAMER_H_
+#define FEWSTATE_NET_TRACE_STREAMER_H_
+
+#include <cstdint>
+
+#include "api/item_source.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace fewstate {
+
+/// \brief Configuration of a `TraceStreamer` session.
+struct TraceStreamerOptions {
+  /// Must match the receiving `SocketSource`.
+  NetTransport transport = NetTransport::kUdp;
+  /// Destination port on 127.0.0.1 — take it from `SocketSource::port()`.
+  uint16_t port = 0;
+  /// Items per data frame (clamped to `kNetMaxFrameItems`). Every frame
+  /// is full except possibly the last, so loss accounting stays exact:
+  /// when the replayed item count is a multiple of this, each dropped
+  /// frame cost exactly this many items.
+  size_t items_per_frame = 1024;
+  /// Replay pace in items/second; 0 streams as fast as the socket takes
+  /// them. Pacing is deadline-based (`sleep_until` on an advancing
+  /// schedule), so a slow frame doesn't smear the overall rate.
+  uint64_t pace_items_per_second = 0;
+  /// Loss injection: when nonzero, every `drop_every_frames`-th data
+  /// frame is withheld — its sequence number advances but nothing is
+  /// sent, a deterministic stand-in for network loss so lossy-UDP
+  /// accounting can be pinned in tests. (Honored on TCP too, where it
+  /// simulates an upstream that lost data before the reliable hop.)
+  uint64_t drop_every_frames = 0;
+  /// Send the explicit end-of-stream sentinel frame after the last item.
+  /// Off = the receiver ends by idle timeout instead.
+  bool send_sentinel = true;
+  /// UDP only: how many copies of the sentinel to send (datagrams can be
+  /// lost; duplicates are harmless, and the receiver still has its idle
+  /// timeout as the backstop). TCP sends exactly one.
+  int sentinel_repeats = 3;
+  /// TCP: total time to keep retrying `connect` while the listener's
+  /// backlog is not yet up.
+  int connect_timeout_ms = 2000;
+};
+
+/// \brief Outcome of one `TraceStreamer::Stream` session.
+struct TraceStreamerReport {
+  /// Items actually written to the socket (withheld frames excluded).
+  uint64_t items_sent = 0;
+  /// Data frames actually written (sentinels excluded).
+  uint64_t frames_sent = 0;
+  /// Bytes written, headers and sentinels included.
+  uint64_t bytes_sent = 0;
+  /// Data frames withheld by `drop_every_frames` (sequence advanced).
+  uint64_t frames_withheld = 0;
+  /// Items inside withheld frames.
+  uint64_t items_withheld = 0;
+  /// First failure: socket/connect/send errors, or the source's own
+  /// non-OK status after the drain. OK for a clean full replay.
+  Status status;
+};
+
+/// \brief The sender half of the live transport: replays any `ItemSource`
+/// (a `FileSource` trace capture, a lazy generator) over a localhost
+/// socket in `wire.h` frames, at a configurable pace — so a loopback test
+/// can pin socket-ingested ≡ file-ingested bitwise, and a deliberately
+/// lossy UDP replay can show wear/accuracy under drop.
+///
+/// `Stream` is synchronous and owns its socket for the duration of one
+/// session; run it on its own thread opposite the `SocketSource` drain.
+/// Each call is one independent session (fresh socket, sequence numbers
+/// from 0).
+class TraceStreamer {
+ public:
+  explicit TraceStreamer(const TraceStreamerOptions& options);
+
+  /// \brief Replays `source` to end-of-stream over the socket; blocks
+  /// until done (including the sentinel). Never throws; all failures land
+  /// in the report's `status`.
+  TraceStreamerReport Stream(ItemSource& source) const;
+
+  /// \brief Rvalue convenience, e.g. `streamer.Stream(ZipfSource(...))`.
+  TraceStreamerReport Stream(ItemSource&& source) const {
+    return Stream(source);
+  }
+
+ private:
+  TraceStreamerOptions options_;
+};
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_NET_TRACE_STREAMER_H_

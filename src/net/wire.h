@@ -1,0 +1,75 @@
+#ifndef FEWSTATE_NET_WIRE_H_
+#define FEWSTATE_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace fewstate {
+
+/// \brief Transport of a live item feed: UDP datagrams (lossy — drops are
+/// detected via sequence numbers and surfaced, never silent) or a TCP
+/// stream (reliable, bitwise-faithful to the sent trace).
+enum class NetTransport { kUdp, kTcp };
+
+/// \brief Stable lowercase transport name, used as the `transport` metric
+/// label and in error messages.
+inline const char* NetTransportName(NetTransport transport) {
+  return transport == NetTransport::kUdp ? "udp" : "tcp";
+}
+
+/// \brief One frame header on the wire. The loopback item protocol shared
+/// by `SocketSource` (receiver) and `TraceStreamer` (sender):
+///
+///   frame := u64 sequence | u32 count | count * u64 item records
+///
+/// all host-endian (the transport is same-machine loopback — the same
+/// convention `FileSource` traces use). Over UDP every datagram carries
+/// exactly one frame, so a datagram whose byte length is not
+/// `12 + 8 * count` is truncated/malformed and reported; over TCP frames
+/// are packed back to back and a connection that closes mid-frame is a
+/// reported partial-frame error. `count == 0` is the explicit
+/// end-of-stream sentinel. Sequence numbers start at 0 and increment per
+/// data frame (the sentinel reuses the next sequence), which is what lets
+/// the receiver count dropped datagrams instead of silently serving a
+/// short stream.
+struct NetFrameHeader {
+  uint64_t sequence = 0;
+  uint32_t count = 0;
+};
+
+/// \brief Bytes of an encoded `NetFrameHeader` on the wire (the struct is
+/// serialized field by field, so no padding travels).
+constexpr size_t kNetFrameHeaderBytes = sizeof(uint64_t) + sizeof(uint32_t);
+
+/// \brief Most item records one frame may carry: the largest whole-record
+/// payload that fits a maximum UDP datagram (65507 bytes on loopback)
+/// after the header. The streamer clamps to it; the receiver rejects
+/// frames claiming more (framing desync, not data).
+constexpr size_t kNetMaxFrameItems =
+    (65507 - kNetFrameHeaderBytes) / sizeof(uint64_t);
+
+/// \brief Serializes `header` into `out[0..kNetFrameHeaderBytes)`.
+inline void EncodeNetFrameHeader(const NetFrameHeader& header, uint8_t* out) {
+  std::memcpy(out, &header.sequence, sizeof(header.sequence));
+  std::memcpy(out + sizeof(header.sequence), &header.count,
+              sizeof(header.count));
+}
+
+/// \brief Parses `in[0..kNetFrameHeaderBytes)` into a header.
+inline NetFrameHeader DecodeNetFrameHeader(const uint8_t* in) {
+  NetFrameHeader header;
+  std::memcpy(&header.sequence, in, sizeof(header.sequence));
+  std::memcpy(&header.count, in + sizeof(header.sequence),
+              sizeof(header.count));
+  return header;
+}
+
+/// \brief Encoded size of a frame carrying `count` items.
+constexpr size_t NetFrameBytes(size_t count) {
+  return kNetFrameHeaderBytes + count * sizeof(uint64_t);
+}
+
+}  // namespace fewstate
+
+#endif  // FEWSTATE_NET_WIRE_H_

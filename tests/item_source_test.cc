@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <limits>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/stream_engine.h"
@@ -126,6 +128,35 @@ TEST(GeneratorSource, ZipfMatchesMaterializedStream) {
   GeneratorSource source = ZipfSource(kUniverse, 1.2, kLength, kSeed);
   EXPECT_EQ(*source.SizeHint(), kLength);
   ExpectEngineEquivalence(source, stream);
+}
+
+// The blocking half of the NextBatch contract: a source that is merely
+// *slow* (here a generator stalling mid-stream, standing in for a quiet
+// socket) is drained completely by ForEachBatch — only a genuine
+// zero-length batch ends the loop, so no delay can masquerade as
+// end-of-stream.
+TEST(GeneratorSource, ForEachBatchDrainsASlowSourceCompletely) {
+  constexpr uint64_t kSlowLength = 500;
+  const Stream expected =
+      Materialize(ZipfSource(kUniverse, 1.2, kSlowLength, kSeed));
+  GeneratorSource zipf = ZipfSource(kUniverse, 1.2, kSlowLength, kSeed);
+  uint64_t draws = 0;
+  GeneratorSource slow(kSlowLength, [&zipf, &draws] {
+    if (++draws % 100 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    Item item = 0;
+    zipf.NextBatch(&item, 1);
+    return item;
+  });
+  Stream drained;
+  Item buffer[64];
+  const uint64_t total =
+      ForEachBatch(slow, buffer, 64, [&drained](const Item* batch, size_t n) {
+        drained.insert(drained.end(), batch, batch + n);
+      });
+  EXPECT_EQ(total, kSlowLength);
+  EXPECT_EQ(drained, expected);
 }
 
 TEST(GeneratorSource, UniformMatchesMaterializedStream) {
