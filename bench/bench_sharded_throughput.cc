@@ -17,10 +17,25 @@
 //
 // Usage: bench_sharded_throughput [stream_length] [shard_list]
 //                                 [checkpoint_every] [full|delta] [obs]
+//                                 [scalar]
 // (defaults: 20000000, "1,2,4,8", 0 = no checkpointing, and full; CI's
 // ThreadSanitizer job passes a smaller length, and a mega-stream
 // acceptance run can restrict the sweep, e.g.
-// `bench_sharded_throughput 100000000 8`). A nonzero `checkpoint_every`
+// `bench_sharded_throughput 100000000 8`). `scalar` (any argv position)
+// sets `ShardedEngineOptions::force_scalar` for the sweep — the per-item
+// virtual Update escape hatch, for A/B runs against the default
+// UpdateBatch drain.
+//
+// After the sweep, an S=1 section ingests the same workload through both
+// drain paths (A/B/B/A, best-of-two per mode) and emits
+// `sketch,mode,items,ns_per_item,mitems_per_sec,speedup_vs_scalar` CSV
+// rows: per-sketch multiples from the workers' per-sketch update walls,
+// an ENGINE row over the whole ingest section (which includes on-the-fly
+// Zipf generation), and a GRID_KERNELS aggregate over the hash-grid
+// sketches (count_min + count_sketch) — the structures the vectorized
+// batch path accelerates. Map-based space_saving and the RNG-sequential
+// stable_morris ride lookups/draws that batching cannot reorder, so
+// their multiples sit near 1.0 by design. A nonzero `checkpoint_every`
 // enables periodic durability checkpointing: each shard serializes its
 // live replicas into NVM-backed snapshots every that-many items, and the
 // ckpt columns report the durability wear priced through the live
@@ -37,10 +52,12 @@
 // thread-confined on the per-word path and drained at batch boundaries,
 // so the delta should be noise.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "baselines/count_min.h"
@@ -107,8 +124,10 @@ int main(int argc, char** argv) {
     snapshot_mode = CheckpointPolicy::Snapshot::kDelta;
   }
   bool obs_overhead = false;
+  bool force_scalar = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "obs") == 0) obs_overhead = true;
+    if (std::strcmp(argv[a], "scalar") == 0) force_scalar = true;
   }
 
   bench::Banner(
@@ -144,10 +163,12 @@ int main(int argc, char** argv) {
   // source (same items every run, nothing materialized, generation
   // overlapped with ingest), optionally instrumented.
   const auto run_point = [&](size_t shards, MetricsRegistry* metrics,
-                             TraceRecorder* trace) -> ShardedRunReport {
+                             TraceRecorder* trace,
+                             bool scalar_path) -> ShardedRunReport {
     ShardedEngineOptions options;
     options.shards = shards;
     options.batch_items = 8192;
+    options.force_scalar = scalar_path;
     options.checkpoint_policy =
         CheckpointPolicy::EveryItems(checkpoint_every, snapshot_mode);
     options.checkpoint_nvm.config.num_cells = 1 << 16;
@@ -165,7 +186,8 @@ int main(int argc, char** argv) {
     return engine.Run(ZipfSource(kFlows, 1.2, length, /*seed=*/2024));
   };
   for (size_t shards : sweep) {
-    ShardedRunReport report = run_point(shards, nullptr, nullptr);
+    ShardedRunReport report = run_point(shards, nullptr, nullptr,
+                                        force_scalar);
     if (obs_overhead) {
       // Telemetry-on rerun of the same point: the table row keeps the
       // instrumented figures (what an observed deployment sees), the
@@ -173,7 +195,7 @@ int main(int argc, char** argv) {
       MetricsRegistry registry;
       TraceRecorder trace;
       const double off_ips = report.items_per_second;
-      report = run_point(shards, &registry, &trace);
+      report = run_point(shards, &registry, &trace, force_scalar);
       const double on_ips = report.items_per_second;
       const double delta_pct =
           off_ips > 0 ? (off_ips - on_ips) / off_ips * 100.0 : 0.0;
@@ -210,6 +232,62 @@ int main(int argc, char** argv) {
                (unsigned long long)delta_ckpts,
                (unsigned long long)checkpoint_writes, bench::PeakRssMiB());
     bench::CsvBlock(report.ToCsv("S=" + std::to_string(shards)));
+  }
+
+  // S=1 batch-vs-scalar A/B: single-shard items/sec is the throughput
+  // story on one core, so this is where the batch path's multiple is
+  // measured. A/B/B/A ordering with best-of-two per mode discards the
+  // first pass's cold-cache / frequency-ramp penalty without handing the
+  // warm slot to either mode.
+  {
+    bench::Section("S=1 batch vs force_scalar (same roster/stream)");
+    ShardedRunReport scalar = run_point(1, nullptr, nullptr, true);
+    ShardedRunReport batch = run_point(1, nullptr, nullptr, false);
+    const auto keep_best = [](ShardedRunReport& best,
+                              const ShardedRunReport& next) {
+      if (next.ingest_seconds < best.ingest_seconds) {
+        best.ingest_seconds = next.ingest_seconds;
+        best.items_per_second = next.items_per_second;
+      }
+      for (size_t i = 0; i < best.sketches.size(); ++i) {
+        best.sketches[i].total.wall_seconds =
+            std::min(best.sketches[i].total.wall_seconds,
+                     next.sketches[i].total.wall_seconds);
+      }
+    };
+    keep_best(batch, run_point(1, nullptr, nullptr, false));
+    keep_best(scalar, run_point(1, nullptr, nullptr, true));
+
+    bench::CsvHeader(
+        "sketch,mode,items,ns_per_item,mitems_per_sec,speedup_vs_scalar");
+    const auto emit = [&](const std::string& sketch, const char* mode,
+                          double wall, double speedup) {
+      const double ns = wall * 1e9 / static_cast<double>(length);
+      const double mitems = static_cast<double>(length) / wall / 1e6;
+      bench::Row("  %-16s %-7s %8.1f ns/item  %8.2f Mitems/s  %5.2fx",
+                 sketch.c_str(), mode, ns, mitems, speedup);
+      bench::CsvBlock(sketch + "," + mode + "," + std::to_string(length) +
+                      "," + std::to_string(ns) + "," +
+                      std::to_string(mitems) + "," +
+                      std::to_string(speedup) + "\n");
+    };
+    double grid_scalar = 0.0, grid_batch = 0.0;
+    for (size_t i = 0; i < batch.sketches.size(); ++i) {
+      const ShardedSketchReport& b = batch.sketches[i];
+      const ShardedSketchReport& s = scalar.sketches[i];
+      emit(s.name, "scalar", s.total.wall_seconds, 1.0);
+      emit(b.name, "batch", b.total.wall_seconds,
+           s.total.wall_seconds / b.total.wall_seconds);
+      if (b.name == "count_min" || b.name == "count_sketch") {
+        grid_scalar += s.total.wall_seconds;
+        grid_batch += b.total.wall_seconds;
+      }
+    }
+    emit("ENGINE", "scalar", scalar.ingest_seconds, 1.0);
+    emit("ENGINE", "batch", batch.ingest_seconds,
+         scalar.ingest_seconds / batch.ingest_seconds);
+    emit("GRID_KERNELS", "scalar", grid_scalar, 1.0);
+    emit("GRID_KERNELS", "batch", grid_batch, grid_scalar / grid_batch);
   }
 
   std::printf(

@@ -18,7 +18,9 @@
 // ratio falls as m grows because its writes scale with the universe, not
 // the stream.
 
+#include <algorithm>
 #include <cinttypes>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -57,22 +59,125 @@ double Recall(const std::vector<HeavyHitter>& reported,
   return static_cast<double>(hits) / static_cast<double>(truth.size());
 }
 
+constexpr uint64_t kUniverse = 20000;
+
+// Registers the Table-1 roster into `engine` (engine-owned sketches), so
+// the state-change sweep and the batch-vs-scalar throughput section run
+// the identical structure set.
+void RegisterRoster(StreamEngine& engine, uint64_t stream_length_hint) {
+  FullSampleAndHoldOptions fsh_options;
+  fsh_options.universe = kUniverse;
+  fsh_options.stream_length_hint = stream_length_hint;
+  fsh_options.p = 2.0;
+  fsh_options.eps = 0.3;
+  fsh_options.seed = 4;
+  engine.Register("MisraGries[MG82]", std::make_unique<MisraGries>(1000));
+  engine.Register("CountMin[CM05]", std::make_unique<CountMin>(4, 2048, 2));
+  engine.Register("SpaceSaving[MAA05]", std::make_unique<SpaceSaving>(1000));
+  engine.Register("CountSketch[CCF04]", std::make_unique<CountSketch>(5, 2048, 3));
+  engine.Register("FullSampleAndHold",
+                  std::make_unique<FullSampleAndHold>(fsh_options));
+}
+
+void EmitThroughputRow(const char* sketch, const char* mode, uint64_t items,
+                       double wall_seconds, double speedup) {
+  const double ns = wall_seconds * 1e9 / static_cast<double>(items);
+  const double mitems = static_cast<double>(items) / wall_seconds / 1e6;
+  bench::Row("  %-22s %-7s %8.1f ns/item  %8.2f Mitems/s  %5.2fx", sketch,
+             mode, ns, mitems, speedup);
+  bench::CsvBlock(std::string(sketch) + "," + mode + "," +
+                  std::to_string(items) + "," + std::to_string(ns) + "," +
+                  std::to_string(mitems) + "," + std::to_string(speedup) +
+                  "\n");
+}
+
+// A/B section: the identical roster and stream, ingested once through the
+// UpdateBatch drain (the default) and once with `force_scalar` (per-item
+// virtual Update). Results are bitwise identical (the batch kernels'
+// contract — pinned in tests/batch_update_test.cc); only wall time may
+// differ. Per-sketch multiples come from the engine's per-sketch walls;
+// the hash-grid sketches (CountMin, CountSketch) carry the speedup, while
+// map-based structures (MisraGries, SpaceSaving) and the RNG-sequential
+// FullSampleAndHold are bound by lookups/draws the batch path cannot
+// reorder, so their multiples hover near 1.0 by construction.
+void ThroughputComparison(uint64_t m) {
+  bench::Section("batch vs force_scalar throughput (same roster/stream)");
+  const uint64_t seed = 77000 + m;
+
+  // One engine per mode; each ingests the identically-seeded stream twice
+  // in A/B/B/A order, and each mode keeps its best (min-wall) pass. The
+  // first pass of the whole section eats cold caches and frequency
+  // ramp-up, and A/B/B/A hands that penalty to neither mode
+  // systematically; min-of-two then discards it.
+  StreamEngine scalar_engine;
+  RegisterRoster(scalar_engine, m);
+  scalar_engine.set_force_scalar(true);
+  StreamEngine batch_engine;
+  RegisterRoster(batch_engine, m);
+
+  RunReport scalar = scalar_engine.Run(ZipfSource(kUniverse, 1.3, m, seed));
+  RunReport batch = batch_engine.Run(ZipfSource(kUniverse, 1.3, m, seed));
+  const auto keep_min = [](RunReport& best, const RunReport& next) {
+    if (next.wall_seconds < best.wall_seconds) {
+      best.wall_seconds = next.wall_seconds;
+    }
+    for (size_t i = 0; i < best.sketches.size(); ++i) {
+      best.sketches[i].wall_seconds = std::min(
+          best.sketches[i].wall_seconds, next.sketches[i].wall_seconds);
+    }
+  };
+  keep_min(batch, batch_engine.Run(ZipfSource(kUniverse, 1.3, m, seed)));
+  keep_min(scalar, scalar_engine.Run(ZipfSource(kUniverse, 1.3, m, seed)));
+
+  bench::CsvHeader(
+      "sketch,mode,items,ns_per_item,mitems_per_sec,speedup_vs_scalar");
+  double grid_scalar = 0.0, grid_batch = 0.0;
+  for (size_t i = 0; i < batch.sketches.size(); ++i) {
+    const SketchRunReport& b = batch.sketches[i];
+    const SketchRunReport& s = scalar.sketches[i];
+    EmitThroughputRow(s.name.c_str(), "scalar", m, s.wall_seconds, 1.0);
+    EmitThroughputRow(b.name.c_str(), "batch", m, b.wall_seconds,
+                      s.wall_seconds / b.wall_seconds);
+    if (b.name.rfind("CountMin", 0) == 0 ||
+        b.name.rfind("CountSketch", 0) == 0) {
+      grid_scalar += s.wall_seconds;
+      grid_batch += b.wall_seconds;
+    }
+  }
+  // Whole-engine items/sec (all five sketches' updates per item).
+  EmitThroughputRow("ENGINE", "scalar", m, scalar.wall_seconds, 1.0);
+  EmitThroughputRow("ENGINE", "batch", m, batch.wall_seconds,
+                    scalar.wall_seconds / batch.wall_seconds);
+  // The headline batch-path multiple: the sketches whose update is
+  // hashing + row arithmetic, i.e. what the vectorized path accelerates.
+  EmitThroughputRow("GRID_KERNELS", "scalar", m, grid_scalar, 1.0);
+  EmitThroughputRow("GRID_KERNELS", "batch", m, grid_batch,
+                    grid_scalar / grid_batch);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Banner(
       "E1 bench_table1", "Table 1 (state-change comparison)",
       "MG/CM/SS/CS make O(m) state changes; this work makes Otilde(n^{1-1/p})");
 
-  const uint64_t n = 20000;
+  const uint64_t n = kUniverse;
   const double kEps = 0.3;  // L2 heavy hitter threshold
+  // Optional sweep cap (default: the full 3e7 sweep). CI's perf-smoke job
+  // passes a small cap so the artefact run finishes in seconds.
+  uint64_t max_m = 30000000ULL;
+  if (argc > 1) max_m = std::strtoull(argv[1], nullptr, 10);
   std::printf("%-22s %-12s %10s %14s %10s %8s %10s\n", "algorithm",
               "guarantee", "m", "state_changes", "chg/m", "recall",
               "rss_mib");
   bench::CsvHeader(RunReport::CsvHeader());
 
+  uint64_t throughput_m = 0;
   for (uint64_t m : {100000ULL, 300000ULL, 1000000ULL, 3000000ULL,
                      30000000ULL}) {
+    if (m > max_m) continue;
+    throughput_m = m;
     const uint64_t seed = 1000 + m;
     // Exact frequencies from one lazy pass: O(n) memory, not O(m).
     StreamStats oracle{ZipfSource(n, 1.3, m, seed)};
@@ -80,24 +185,14 @@ int main() {
     const double l2 = oracle.Lp(2.0);
     const double threshold = 0.5 * kEps * l2;
 
-    FullSampleAndHoldOptions fsh_options;
-    fsh_options.universe = n;
-    fsh_options.stream_length_hint = m;
-    fsh_options.p = 2.0;
-    fsh_options.eps = kEps;
-    fsh_options.seed = 4;
-
     StreamEngine engine;
-    auto* mg = static_cast<MisraGries*>(
-        engine.Register("MisraGries[MG82]", std::make_unique<MisraGries>(1000)));
-    auto* cm = static_cast<CountMin*>(
-        engine.Register("CountMin[CM05]", std::make_unique<CountMin>(4, 2048, 2)));
-    auto* ss = static_cast<SpaceSaving*>(engine.Register(
-        "SpaceSaving[MAA05]", std::make_unique<SpaceSaving>(1000)));
-    auto* cs = static_cast<CountSketch*>(engine.Register(
-        "CountSketch[CCF04]", std::make_unique<CountSketch>(5, 2048, 3)));
-    auto* fsh = static_cast<FullSampleAndHold*>(engine.Register(
-        "FullSampleAndHold", std::make_unique<FullSampleAndHold>(fsh_options)));
+    RegisterRoster(engine, m);
+    auto* mg = static_cast<MisraGries*>(engine.Find("MisraGries[MG82]"));
+    auto* cm = static_cast<CountMin*>(engine.Find("CountMin[CM05]"));
+    auto* ss = static_cast<SpaceSaving*>(engine.Find("SpaceSaving[MAA05]"));
+    auto* cs = static_cast<CountSketch*>(engine.Find("CountSketch[CCF04]"));
+    auto* fsh =
+        static_cast<FullSampleAndHold*>(engine.Find("FullSampleAndHold"));
 
     // A second identically-seeded source: the engine sees the exact items
     // the oracle counted, with nothing materialized in between.
@@ -120,6 +215,12 @@ int main() {
     }
     bench::CsvBlock(report.ToCsv("m=" + std::to_string(m)));
     std::printf("\n");
+  }
+
+  // Capped at 3e6 items: at ~5 sketch updates/item the A/B pair already
+  // runs multi-second there, and the multiple is stable by that length.
+  if (throughput_m > 0) {
+    ThroughputComparison(std::min<uint64_t>(throughput_m, 3000000ULL));
   }
   return 0;
 }

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Convert batch-vs-scalar bench logs to a BENCH_<n>.json artifact.
+
+Usage: bench_to_json.py LOG [LOG...]
+
+Scrapes the `CSV,` rows with the shared throughput schema
+`sketch,mode,items,ns_per_item,mitems_per_sec,speedup_vs_scalar` (emitted
+by bench_table1's throughput section, bench_sharded_throughput's S=1
+section, and bench_update_time) out of each log and emits one JSON object
+on stdout keyed by log basename, so CI uploads a stable machine-readable
+perf trajectory per commit.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA = "sketch,mode,items,ns_per_item,mitems_per_sec,speedup_vs_scalar"
+MODES = ("scalar", "batch")
+
+
+def scrape(path):
+    rows = []
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            if not line.startswith("CSV,"):
+                continue
+            fields = line.rstrip("\n").split(",")[1:]
+            if len(fields) != 6 or fields[1] not in MODES:
+                continue  # a different CSV block (e.g. the RunReport rows)
+            sketch, mode, items, ns, mitems, speedup = fields
+            try:
+                rows.append(
+                    {
+                        "sketch": sketch,
+                        "mode": mode,
+                        "items": int(items),
+                        "ns_per_item": float(ns),
+                        "mitems_per_sec": float(mitems),
+                        "speedup_vs_scalar": float(speedup),
+                    }
+                )
+            except ValueError:
+                continue  # the header line, or a malformed row
+    return rows
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    out = {"schema": SCHEMA, "benches": {}}
+    failures = []
+    for path in argv[1:]:
+        name = os.path.splitext(os.path.basename(path))[0]
+        rows = scrape(path)
+        if not rows:
+            failures.append(path)
+            continue
+        headline = {
+            r["sketch"]: r["speedup_vs_scalar"]
+            for r in rows
+            if r["mode"] == "batch"
+        }
+        out["benches"][name] = {"rows": rows, "batch_speedups": headline}
+    json.dump(out, sys.stdout, indent=2)
+    print()
+    if failures:
+        print("no throughput CSV rows found in: %s" % ", ".join(failures),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -32,6 +32,31 @@ if grep -rnE 'set_write_log\(' bench examples; then
   exit 1
 fi
 
+# Batch-drain gate: the engine drain loops feed sketches through
+# `UpdateBatch` (the vectorized hot path). A per-item `->Update(` call in
+# a drain file is legal only as the `force_scalar` escape hatch — i.e.
+# within two lines of a `force_scalar` guard. Anything else is the scalar
+# path creeping back into the hot loop.
+batch_gate_failed=0
+for drain_file in src/api/stream_engine.cc src/shard/sharded_engine.cc src/api/item_source.cc; do
+  if ! grep -q 'UpdateBatch(' "$drain_file"; then
+    echo "check.sh: $drain_file no longer drains through UpdateBatch() — the batch hot path is gone" >&2
+    batch_gate_failed=1
+  fi
+  bad=$(awk '
+    /force_scalar/ { guard = NR }
+    /->Update\(/ { if (NR - guard > 2) print FILENAME ":" NR ": " $0 }
+  ' "$drain_file")
+  if [ -n "$bad" ]; then
+    echo "check.sh: per-item Update() in an engine drain loop outside the force_scalar escape hatch:" >&2
+    echo "$bad" >&2
+    batch_gate_failed=1
+  fi
+done
+if [ "$batch_gate_failed" -ne 0 ]; then
+  exit 1
+fi
+
 # Source-error gate: a `FileSource` or `SocketSource` constructed in
 # examples/ must have its error channel consulted in the same file
 # (`.ok()` or `.status()`). An unopenable trace — or a lossy, truncated,

@@ -30,7 +30,7 @@ uint64_t StreamingAlgorithm::Drain(ItemSource& source) {
   std::vector<Item> buffer(kDefaultDrainBatchItems);
   return ForEachBatch(source, buffer.data(), buffer.size(),
                       [this](const Item* batch, size_t count) {
-                        for (size_t i = 0; i < count; ++i) Update(batch[i]);
+                        UpdateBatch(batch, count);
                       });
 }
 

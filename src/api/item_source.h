@@ -60,9 +60,10 @@ class ItemSource {
 
 /// \brief Default pull granularity of the library's drains (`StreamEngine`
 /// blocks, `StreamingAlgorithm::Drain`, `Materialize`, the `StreamStats`
-/// source oracle): big enough to amortise the virtual call, small enough
-/// that an unsized drain stays O(batch) resident.
-constexpr size_t kDefaultDrainBatchItems = 1024;
+/// source oracle): big enough to amortise the per-batch `UpdateBatch`
+/// dispatch and give the batch hash kernels full-width runs, small enough
+/// (32 KiB of items) that an unsized drain stays O(batch) resident.
+constexpr size_t kDefaultDrainBatchItems = 4096;
 
 /// \brief The library's single ingest loop: pulls batches from `source`
 /// into `buffer` (capacity `cap` items) until end-of-stream, handing each

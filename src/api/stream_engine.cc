@@ -286,7 +286,11 @@ RunReport StreamEngine::Run(ItemSource& source) {
           Sketch* sketch = entries_[i].sketch;
           if (trace_ != nullptr) trace_->Begin(update_span_names[i], "update");
           const Clock::time_point t0 = Clock::now();
-          for (size_t j = 0; j < count; ++j) sketch->Update(batch[j]);
+          if (force_scalar_) {
+            for (size_t j = 0; j < count; ++j) sketch->Update(batch[j]);
+          } else {
+            sketch->UpdateBatch(batch, count);
+          }
           sketch_seconds[i] +=
               std::chrono::duration<double>(Clock::now() - t0).count();
           if (trace_ != nullptr) trace_->End(update_span_names[i], "update");

@@ -37,6 +37,13 @@ class CountMin : public MergeableSketch, public RestorableSketch {
 
   void Update(Item item) override;
 
+  /// \brief Batch kernel: hashes the whole batch per row up front
+  /// (`PolynomialHash::HashRangeBatch`), applies the row increments over
+  /// raw table storage, and reconciles accounting once per chunk through
+  /// `StateAccountant::ApplyBatch` — bitwise identical to the scalar loop
+  /// in estimates, accountant totals and sink traffic.
+  void UpdateBatch(const Item* items, size_t n) override;
+
   /// \brief Adds another CountMin's table cell-wise. The grids are linear
   /// in the frequency vector, so merging shard replicas (same depth, width
   /// and seed) is *exactly* equivalent to one sketch over the concatenated
@@ -79,6 +86,9 @@ class CountMin : public MergeableSketch, public RestorableSketch {
   StateAccountant accountant_;
   std::vector<PolynomialHash> hashes_;
   std::unique_ptr<TrackedArray<uint64_t>> table_;
+  // Reused batch-kernel scratch (bounded by the internal chunk size).
+  BatchUpdateScratch batch_scratch_;
+  std::vector<uint64_t> batch_idx_;
 };
 
 }  // namespace fewstate

@@ -29,6 +29,12 @@ class CountSketch : public MergeableSketch, public RestorableSketch {
 
   void Update(Item item) override;
 
+  /// \brief Batch kernel: bucket and sign hashes for the whole batch are
+  /// evaluated up front, then the signed row increments sweep raw table
+  /// storage with accounting reconciled once per chunk — bitwise identical
+  /// to the scalar loop.
+  void UpdateBatch(const Item* items, size_t n) override;
+
   /// \brief Adds another CountSketch's table cell-wise. The sketch is
   /// linear, so merging identically-configured shard replicas (same depth,
   /// width, seed) is exactly equivalent to one sketch over the
@@ -69,6 +75,10 @@ class CountSketch : public MergeableSketch, public RestorableSketch {
   std::vector<PolynomialHash> bucket_hashes_;
   std::vector<PolynomialHash> sign_hashes_;
   std::unique_ptr<TrackedArray<int64_t>> table_;
+  // Reused batch-kernel scratch (bounded by the internal chunk size).
+  BatchUpdateScratch batch_scratch_;
+  std::vector<uint64_t> batch_idx_;
+  std::vector<int8_t> batch_sign_;
 };
 
 }  // namespace fewstate

@@ -9,6 +9,11 @@ MisraGries::MisraGries(size_t k) : k_(k == 0 ? 1 : k) {
   // 2 words (item, count) per slot.
   cells_base_ = accountant_.AllocateCells(2 * k_);
   counts_.reserve(k_);
+  // LIFO free list, highest slot first, so the first insert takes slot 0.
+  free_slots_.reserve(k_);
+  for (size_t s = k_; s-- > 0;) {
+    free_slots_.push_back(static_cast<uint32_t>(s));
+  }
 }
 
 void MisraGries::Update(Item item) {
@@ -16,23 +21,65 @@ void MisraGries::Update(Item item) {
   auto it = counts_.find(item);
   accountant_.RecordRead();
   if (it != counts_.end()) {
-    ++it->second;
-    accountant_.RecordWrite(cells_base_ + 1);
+    ++it->second.count;
+    accountant_.RecordWrite(CountCell(it->second.slot));
     return;
   }
   if (counts_.size() < k_) {
-    counts_.emplace(item, 1);
-    accountant_.RecordWrite(cells_base_, 2);
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    counts_.emplace(item, Entry{1, slot});
+    accountant_.RecordWrite(KeyCell(slot), 2);
     return;
   }
-  // Decrement phase: every tracked count drops by one; zeros are evicted.
+  // Decrement phase: every tracked count drops by one; zeros are evicted
+  // (the zeroed count word is the tombstone) and their slots recycled.
   for (auto iter = counts_.begin(); iter != counts_.end();) {
-    accountant_.RecordWrite(cells_base_ + 1);
-    if (--iter->second == 0) {
+    accountant_.RecordWrite(CountCell(iter->second.slot));
+    if (--iter->second.count == 0) {
+      free_slots_.push_back(iter->second.slot);
       iter = counts_.erase(iter);
     } else {
       ++iter;
     }
+  }
+}
+
+void MisraGries::UpdateBatch(const Item* items, size_t n) {
+  // Chunked so sink replay latency stays bounded on huge engine batches.
+  constexpr size_t kChunk = 1024;
+  const bool collect = accountant_.needs_cell_addresses();
+  for (size_t off = 0; off < n; off += kChunk) {
+    const size_t c = std::min(kChunk, n - off);
+    batch_scratch_.Begin(collect);
+    for (size_t i = 0; i < c; ++i) {
+      const Item item = items[off + i];
+      batch_scratch_.BeginItem();
+      auto it = counts_.find(item);
+      batch_scratch_.Read();
+      if (it != counts_.end()) {
+        ++it->second.count;
+        batch_scratch_.Write(CountCell(it->second.slot));
+        continue;
+      }
+      if (counts_.size() < k_) {
+        const uint32_t slot = free_slots_.back();
+        free_slots_.pop_back();
+        counts_.emplace(item, Entry{1, slot});
+        batch_scratch_.Write(KeyCell(slot), 2);
+        continue;
+      }
+      for (auto iter = counts_.begin(); iter != counts_.end();) {
+        batch_scratch_.Write(CountCell(iter->second.slot));
+        if (--iter->second.count == 0) {
+          free_slots_.push_back(iter->second.slot);
+          iter = counts_.erase(iter);
+        } else {
+          ++iter;
+        }
+      }
+    }
+    accountant_.ApplyBatch(batch_scratch_);
   }
 }
 
@@ -45,15 +92,26 @@ Status MisraGries::MergeFrom(const Sketch& other) {
         "MisraGries::MergeFrom: capacities must match");
   }
   accountant_.BeginUpdate();
-  for (const auto& [item, count] : src->counts_) {
+  for (const auto& [item, entry] : src->counts_) {
     accountant_.RecordRead();
     auto it = counts_.find(item);
     if (it != counts_.end()) {
-      it->second += count;
-      accountant_.RecordWrite(cells_base_ + 1);
+      it->second.count += entry.count;
+      accountant_.RecordWrite(CountCell(it->second.slot));
     } else {
-      counts_.emplace(item, count);
-      accountant_.RecordWrite(cells_base_, 2);
+      // The union may transiently exceed k entries; overflow entries get
+      // unique addresses past the nominal table (wear mappings wrap by
+      // device size) until the decrement pass below shrinks the union
+      // back to at most k and recycles only real (< k) slots.
+      uint32_t slot;
+      if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+      } else {
+        slot = static_cast<uint32_t>(counts_.size());
+      }
+      counts_.emplace(item, Entry{entry.count, slot});
+      accountant_.RecordWrite(KeyCell(slot), 2);
     }
   }
   if (counts_.size() > k_) {
@@ -61,17 +119,28 @@ Status MisraGries::MergeFrom(const Sketch& other) {
     // can stay strictly positive.
     std::vector<uint64_t> order;
     order.reserve(counts_.size());
-    for (const auto& [item, count] : counts_) order.push_back(count);
+    for (const auto& [item, entry] : counts_) order.push_back(entry.count);
     std::nth_element(order.begin(), order.begin() + k_, order.end(),
                      std::greater<uint64_t>());
     const uint64_t decrement = order[k_];
     for (auto iter = counts_.begin(); iter != counts_.end();) {
-      accountant_.RecordWrite(cells_base_ + 1);
-      if (iter->second <= decrement) {
+      accountant_.RecordWrite(CountCell(iter->second.slot));
+      if (iter->second.count <= decrement) {
+        if (iter->second.slot < k_) free_slots_.push_back(iter->second.slot);
         iter = counts_.erase(iter);
       } else {
-        iter->second -= decrement;
+        iter->second.count -= decrement;
         ++iter;
+      }
+    }
+    // Re-home any survivor still on a transient overflow slot: at most k
+    // entries remain, so a real slot is free for each. Moving the pair is
+    // a 2-word state change at its new address.
+    for (auto& [item, entry] : counts_) {
+      if (entry.slot >= k_) {
+        entry.slot = free_slots_.back();
+        free_slots_.pop_back();
+        accountant_.RecordWrite(KeyCell(entry.slot), 2);
       }
     }
   }
@@ -87,24 +156,28 @@ Status MisraGries::RestoreFrom(const Sketch& source) {
         "MisraGries::RestoreFrom: capacities must match");
   }
   accountant_.BeginUpdate();
-  // Evict entries the source no longer tracks (one tombstone word each).
+  // Evict entries the source no longer tracks (one tombstone word each —
+  // the slot's zeroed count word).
   for (auto iter = counts_.begin(); iter != counts_.end();) {
     if (src->counts_.find(iter->first) == src->counts_.end()) {
-      accountant_.RecordWrite(cells_base_ + 1);
+      accountant_.RecordWrite(CountCell(iter->second.slot));
+      if (iter->second.slot < k_) free_slots_.push_back(iter->second.slot);
       iter = counts_.erase(iter);
     } else {
       ++iter;
     }
   }
   // Copy the source's entries; identical pairs are not state changes.
-  for (const auto& [item, count] : src->counts_) {
+  for (const auto& [item, entry] : src->counts_) {
     auto it = counts_.find(item);
     if (it == counts_.end()) {
-      counts_.emplace(item, count);
-      accountant_.RecordWrite(cells_base_, 2);
-    } else if (it->second != count) {
-      it->second = count;
-      accountant_.RecordWrite(cells_base_ + 1);
+      const uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      counts_.emplace(item, Entry{entry.count, slot});
+      accountant_.RecordWrite(KeyCell(slot), 2);
+    } else if (it->second.count != entry.count) {
+      it->second.count = entry.count;
+      accountant_.RecordWrite(CountCell(it->second.slot));
     } else {
       accountant_.RecordSuppressedWrite();
     }
@@ -114,14 +187,14 @@ Status MisraGries::RestoreFrom(const Sketch& source) {
 
 double MisraGries::EstimateFrequency(Item item) const {
   auto it = counts_.find(item);
-  return it == counts_.end() ? 0.0 : static_cast<double>(it->second);
+  return it == counts_.end() ? 0.0 : static_cast<double>(it->second.count);
 }
 
 std::vector<HeavyHitter> MisraGries::HeavyHitters(double threshold) const {
   std::vector<HeavyHitter> out;
-  for (const auto& [item, count] : counts_) {
-    if (static_cast<double>(count) >= threshold) {
-      out.push_back(HeavyHitter{item, static_cast<double>(count)});
+  for (const auto& [item, entry] : counts_) {
+    if (static_cast<double>(entry.count) >= threshold) {
+      out.push_back(HeavyHitter{item, static_cast<double>(entry.count)});
     }
   }
   return out;

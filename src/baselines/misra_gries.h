@@ -30,6 +30,12 @@ class MisraGries : public MergeableSketch,
 
   void Update(Item item) override;
 
+  /// \brief Batch kernel: the same map transitions as the scalar loop,
+  /// with per-update accounting mirrored into a `BatchUpdateScratch` and
+  /// flushed once per chunk (`StateAccountant::ApplyBatch`) — bitwise
+  /// identical estimates, totals and sink traffic.
+  void UpdateBatch(const Item* items, size_t n) override;
+
   /// \brief The classic mergeable-summaries combine [ACHPWY12]: counts of
   /// common items add; if the union exceeds k entries, the (k+1)-th
   /// largest count is subtracted from every entry and non-positive entries
@@ -42,14 +48,10 @@ class MisraGries : public MergeableSketch,
   /// capacity) entry for entry: unchanged (item, count) pairs are
   /// suppressed, changed counts cost one word, inserted pairs two, and
   /// evicted slots one (the tombstone) — the checkpoint/restore contract
-  /// for map-shaped state. Delta restores use the default full scan: the
-  /// summary's write *addresses* are coarse (every write lands on one of
-  /// two cells, so dirty sets cap at 2 and per-slot filtering is
-  /// impossible — which also means the `CheckpointPolicy::kDirtyWords`
-  /// trigger undercounts this sketch; see ROADMAP), and MG changes most
-  /// of its counts between checkpoints anyway — it is the paper's
-  /// writes-everywhere baseline, so its deltas ≈ full rewrites by
-  /// nature.
+  /// for map-shaped state. Delta restores use the default full scan with
+  /// suppression; that is near-optimal here because MG changes most of
+  /// its counts between checkpoints anyway — it is the paper's
+  /// writes-everywhere baseline, so its deltas ≈ full rewrites by nature.
   Status RestoreFrom(const Sketch& source) override;
 
   /// \brief Underestimate of the frequency of `item` (0 if not tracked).
@@ -76,10 +78,30 @@ class MisraGries : public MergeableSketch,
   StateAccountant* mutable_accountant() override { return &accountant_; }
 
  private:
+  // Each tracked entry owns a 2-word slot: key word at
+  // `cells_base_ + 2*slot`, count word at `cells_base_ + 2*slot + 1`.
+  // Fine-grained addressing lets `DirtyTracker` (and batch
+  // reconciliation) see the true touched set per checkpoint interval —
+  // the former single-cell scheme collapsed every write onto two cells,
+  // under-counting dirty words for the `CheckpointPolicy::kDirtyWords`
+  // trigger.
+  struct Entry {
+    uint64_t count = 0;
+    uint32_t slot = 0;
+  };
+
+  uint64_t KeyCell(uint32_t slot) const { return cells_base_ + 2 * slot; }
+  uint64_t CountCell(uint32_t slot) const {
+    return cells_base_ + 2 * slot + 1;
+  }
+
   size_t k_;
   StateAccountant accountant_;
   uint64_t cells_base_;
-  std::unordered_map<Item, uint64_t> counts_;
+  std::unordered_map<Item, Entry> counts_;
+  std::vector<uint32_t> free_slots_;
+  // Reused batch-kernel scratch (bounded by the internal chunk size).
+  BatchUpdateScratch batch_scratch_;
 };
 
 }  // namespace fewstate

@@ -53,6 +53,15 @@ class StableSketch : public MergeableSketch, public RestorableSketch {
 
   void Update(Item item) override;
 
+  /// \brief Batch kernel for `kExact` self-managed-epoch sketches: derives
+  /// the whole chunk's p-stable entries with batched tabulation hashing,
+  /// then accumulates rows in arrival order with accounting reconciled
+  /// once per chunk — bitwise identical to the scalar loop. Falls back to
+  /// the scalar path in `kMorris` mode (the Morris counters consume the
+  /// RNG sequentially per update) and under caller-managed epochs (the
+  /// caller drives `BeginUpdate`, a scalar-path contract).
+  void UpdateBatch(const Item* items, size_t n) override;
+
   /// \brief Folds an identically-configured replica (same p, rows, seed,
   /// mode, Morris growth) into this sketch. In `kExact` mode the row
   /// accumulators are linear, so the merge is exact. In `kMorris` mode the
@@ -125,6 +134,12 @@ class StableSketch : public MergeableSketch, public RestorableSketch {
   // kMorris state: positive/negative monotone parts per row.
   std::vector<MorrisCounter> pos_counters_;
   std::vector<MorrisCounter> neg_counters_;
+  // Reused batch-kernel scratch (bounded by the internal chunk size).
+  BatchUpdateScratch batch_scratch_;
+  std::vector<uint64_t> batch_keys_;
+  std::vector<uint64_t> batch_raw_;
+  std::vector<double> batch_theta_;
+  std::vector<double> batch_entries_;
 };
 
 }  // namespace fewstate

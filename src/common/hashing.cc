@@ -43,9 +43,86 @@ uint64_t PolynomialHash::Hash(uint64_t x) const {
   return acc;
 }
 
+void PolynomialHash::HashBatch(const uint64_t* items, size_t n,
+                               uint64_t* out) const {
+  if (coeffs_.size() == 2) {
+    // Degree-1 fast path: h = a + b*x. No cross-item dependencies, so the
+    // 128-bit multiply / Mersenne fold chain software-pipelines across
+    // items.
+    const uint64_t a = coeffs_[0];
+    const uint64_t b = coeffs_[1];
+#pragma omp simd
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t xf = items[i] % kPrime;
+      out[i] = AddMod(MulMod(b, xf), a);
+    }
+    return;
+  }
+  if (coeffs_.size() == 4) {
+    // Degree-3 (4-wise) unroll: Horner with the leading coefficient as
+    // the seed accumulator — bitwise identical to Hash()'s loop, whose
+    // first iteration reduces to acc = coeffs_[3].
+    const uint64_t c0 = coeffs_[0];
+    const uint64_t c1 = coeffs_[1];
+    const uint64_t c2 = coeffs_[2];
+    const uint64_t c3 = coeffs_[3];
+#pragma omp simd
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t xf = items[i] % kPrime;
+      uint64_t acc = AddMod(MulMod(c3, xf), c2);
+      acc = AddMod(MulMod(acc, xf), c1);
+      out[i] = AddMod(MulMod(acc, xf), c0);
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) out[i] = Hash(items[i]);
+}
+
 uint64_t PolynomialHash::HashRange(uint64_t x, uint64_t range) const {
   __uint128_t h = Hash(x);
   return static_cast<uint64_t>((h * range) >> 61);
+}
+
+void PolynomialHash::HashRangeBatch(const uint64_t* items, size_t n,
+                                    uint64_t range, uint64_t* out) const {
+  HashBatch(items, n, out);
+#pragma omp simd
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint64_t>(
+        (static_cast<__uint128_t>(out[i]) * range) >> 61);
+  }
+}
+
+void PolynomialHash::HashSignBatch(const uint64_t* items, size_t n,
+                                   int8_t* out) const {
+  if (coeffs_.size() == 2) {
+    const uint64_t a = coeffs_[0];
+    const uint64_t b = coeffs_[1];
+#pragma omp simd
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t xf = items[i] % kPrime;
+      out[i] = (AddMod(MulMod(b, xf), a) & 1) ? int8_t{1} : int8_t{-1};
+    }
+    return;
+  }
+  if (coeffs_.size() == 4) {
+    const uint64_t c0 = coeffs_[0];
+    const uint64_t c1 = coeffs_[1];
+    const uint64_t c2 = coeffs_[2];
+    const uint64_t c3 = coeffs_[3];
+#pragma omp simd
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t xf = items[i] % kPrime;
+      uint64_t acc = AddMod(MulMod(c3, xf), c2);
+      acc = AddMod(MulMod(acc, xf), c1);
+      acc = AddMod(MulMod(acc, xf), c0);
+      out[i] = (acc & 1) ? int8_t{1} : int8_t{-1};
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = (Hash(items[i]) & 1) ? int8_t{1} : int8_t{-1};
+  }
 }
 
 double PolynomialHash::HashUnit(uint64_t x) const {
@@ -85,9 +162,38 @@ uint64_t TabulationHash::Hash(uint64_t x) const {
   return h;
 }
 
+void TabulationHash::HashBatch(const uint64_t* items, size_t n,
+                               uint64_t* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t x = items[i];
+    uint64_t h = 0;
+    // Unrolled byte lookups: eight independent loads per item, so the
+    // table reads of consecutive items overlap in the load pipeline.
+    h ^= tables_[0][x & 0xff];
+    h ^= tables_[1][(x >> 8) & 0xff];
+    h ^= tables_[2][(x >> 16) & 0xff];
+    h ^= tables_[3][(x >> 24) & 0xff];
+    h ^= tables_[4][(x >> 32) & 0xff];
+    h ^= tables_[5][(x >> 40) & 0xff];
+    h ^= tables_[6][(x >> 48) & 0xff];
+    h ^= tables_[7][(x >> 56) & 0xff];
+    out[i] = h;
+  }
+}
+
 uint64_t TabulationHash::HashRange(uint64_t x, uint64_t range) const {
   __uint128_t h = Hash(x);
   return static_cast<uint64_t>((h * range) >> 64);
+}
+
+void TabulationHash::HashRangeBatch(const uint64_t* items, size_t n,
+                                    uint64_t range, uint64_t* out) const {
+  HashBatch(items, n, out);
+#pragma omp simd
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint64_t>(
+        (static_cast<__uint128_t>(out[i]) * range) >> 64);
+  }
 }
 
 double TabulationHash::HashUnit(uint64_t x) const {

@@ -27,8 +27,22 @@ class PolynomialHash {
   /// \brief Raw hash value in [0, kPrime).
   uint64_t Hash(uint64_t x) const;
 
+  /// \brief Batch evaluation: out[i] = Hash(items[i]) for i in [0, n),
+  /// bitwise identical to the scalar path. The common independence-2 case
+  /// (a + b·x over GF(2^61-1)) runs as a flat software-pipelined loop; the
+  /// general Horner loop handles higher degrees.
+  void HashBatch(const uint64_t* items, size_t n, uint64_t* out) const;
+
   /// \brief Hash mapped to [0, range) (range > 0). Bias is O(range / 2^61).
   uint64_t HashRange(uint64_t x, uint64_t range) const;
+
+  /// \brief Batch variant: out[i] = HashRange(items[i], range), bitwise
+  /// identical to the scalar path.
+  void HashRangeBatch(const uint64_t* items, size_t n, uint64_t range,
+                      uint64_t* out) const;
+
+  /// \brief Batch variant of HashSign: out[i] in {+1, -1}.
+  void HashSignBatch(const uint64_t* items, size_t n, int8_t* out) const;
 
   /// \brief Hash mapped to the unit interval [0, 1).
   double HashUnit(uint64_t x) const;
@@ -63,8 +77,17 @@ class TabulationHash {
   /// \brief Raw 64-bit hash.
   uint64_t Hash(uint64_t x) const;
 
+  /// \brief Batch evaluation: out[i] = Hash(items[i]), bitwise identical
+  /// to the scalar path (the 8 byte-table lookups software-pipeline across
+  /// items).
+  void HashBatch(const uint64_t* items, size_t n, uint64_t* out) const;
+
   /// \brief Hash mapped to [0, range) (range > 0).
   uint64_t HashRange(uint64_t x, uint64_t range) const;
+
+  /// \brief Batch variant: out[i] = HashRange(items[i], range).
+  void HashRangeBatch(const uint64_t* items, size_t n, uint64_t range,
+                      uint64_t* out) const;
 
   /// \brief Hash mapped to [0, 1).
   double HashUnit(uint64_t x) const;

@@ -42,6 +42,16 @@ class StreamingAlgorithm {
   /// \brief Processes one stream update (an occurrence of `item`).
   virtual void Update(Item item) = 0;
 
+  /// \brief Processes `n` updates in arrival order. Semantically identical
+  /// to calling Update() once per item — estimates, accountant totals and
+  /// write-sink traffic must be bitwise the same — but overriding sketches
+  /// hash the whole batch up front and reconcile state accounting once per
+  /// batch (see `StateAccountant::ApplyBatch`), which is what lets one core
+  /// saturate. The default is the scalar loop.
+  virtual void UpdateBatch(const Item* items, size_t n) {
+    for (size_t i = 0; i < n; ++i) Update(items[i]);
+  }
+
   /// \brief Drains `source` to end-of-stream through the library's shared
   /// batch loop (`ForEachBatch`); returns the number of items consumed.
   /// Defined in api/item_source.cc — the one ingest loop.

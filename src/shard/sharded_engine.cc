@@ -748,7 +748,11 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
           Sketch* sketch = replicas_[s][i].get();
           if (trace != nullptr) trace->Begin(update_span_names[i], "update");
           const Clock::time_point t0 = Clock::now();
-          for (Item item : batch) sketch->Update(item);
+          if (options_.force_scalar) {
+            for (Item item : batch) sketch->Update(item);
+          } else {
+            sketch->UpdateBatch(batch.data(), batch.size());
+          }
           busy[s][i] += Seconds(t0, Clock::now());
           if (trace != nullptr) trace->End(update_span_names[i], "update");
         }

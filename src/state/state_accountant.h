@@ -2,10 +2,118 @@
 #define FEWSTATE_STATE_STATE_ACCOUNTANT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "state/write_sink.h"
 
 namespace fewstate {
+
+/// \brief Per-batch write-reconciliation scratch for `UpdateBatch` kernels.
+///
+/// A batch kernel mirrors the scalar accounting calls against this scratch
+/// instead of the accountant — `BeginItem()` where the scalar path calls
+/// `StateAccountant::BeginUpdate()`, `Write()` / `SuppressedWrite()` /
+/// `Read()` where it calls the matching Record* method — then flushes once
+/// with `StateAccountant::ApplyBatch()`. The scratch preserves everything
+/// the scalar path would have produced: per-update dirtiness (for the
+/// paper's state-change metric), aggregate word counts, and — only when the
+/// accountant says `needs_cell_addresses()` — the program-order list of
+/// (update, cell) write records needed to replay exact `WriteSink` traffic
+/// with scalar epoch numbering. Reuse one scratch across batches; `Begin()`
+/// resets it without releasing the record buffer.
+class BatchUpdateScratch {
+ public:
+  /// \brief One changed word: which in-batch update wrote which cell.
+  struct WriteRecord {
+    uint64_t cell = 0;
+    uint32_t update_index = 0;
+  };
+
+  /// \brief Starts a new batch. `collect_cells` must be
+  /// `accountant->needs_cell_addresses()`; when false, Write() skips
+  /// recording addresses and ApplyBatch reconciles aggregates only.
+  void Begin(bool collect_cells) {
+    writes_.clear();
+    collect_cells_ = collect_cells;
+    items_begun_ = 0;
+    current_dirty_ = false;
+    changed_before_current_ = 0;
+    word_writes_ = 0;
+    suppressed_words_ = 0;
+    read_words_ = 0;
+  }
+
+  /// \brief Marks the start of one in-batch update (scalar BeginUpdate).
+  void BeginItem() {
+    if (items_begun_ > 0 && current_dirty_) ++changed_before_current_;
+    current_dirty_ = false;
+    ++items_begun_;
+  }
+
+  /// \brief Records `words` changed words at `cell` for the current update
+  /// (scalar RecordWrite).
+  void Write(uint64_t cell, uint64_t words = 1) {
+    current_dirty_ = true;
+    word_writes_ += words;
+    if (collect_cells_) {
+      const uint32_t index = static_cast<uint32_t>(items_begun_ - 1);
+      for (uint64_t w = 0; w < words; ++w) {
+        writes_.push_back(WriteRecord{cell + w, index});
+      }
+    }
+  }
+
+  /// \brief Aggregate fast path for kernels where every update provably
+  /// changes state (e.g. unconditional counter increments): appends
+  /// `count` consecutive updates, each writing `words_per_update` changed
+  /// words, in O(1). Only valid without cell collection — there is no
+  /// per-cell record to replay, so the accountant must have no sink.
+  void AllChanged(uint64_t count, uint64_t words_per_update) {
+    if (count == 0) return;
+    if (items_begun_ > 0 && current_dirty_) ++changed_before_current_;
+    changed_before_current_ += count - 1;
+    current_dirty_ = true;
+    items_begun_ += count;
+    word_writes_ += count * words_per_update;
+  }
+
+  /// \brief Records `words` writes that stored the already-present value.
+  void SuppressedWrite(uint64_t words = 1) { suppressed_words_ += words; }
+
+  /// \brief Records `words` words read.
+  void Read(uint64_t words = 1) { read_words_ += words; }
+
+  /// \brief Updates begun in this batch.
+  uint64_t items_begun() const { return items_begun_; }
+
+  /// \brief Finished in-batch updates (all but the last) that changed state.
+  uint64_t changed_before_last() const { return changed_before_current_; }
+
+  /// \brief Whether the last (still-pending) update changed state.
+  bool last_changed() const { return current_dirty_; }
+
+  /// \brief Total changed words in the batch.
+  uint64_t word_writes() const { return word_writes_; }
+
+  /// \brief Total suppressed words in the batch.
+  uint64_t suppressed_words() const { return suppressed_words_; }
+
+  /// \brief Total words read in the batch.
+  uint64_t read_words() const { return read_words_; }
+
+  /// \brief Program-order write records (empty unless collecting cells).
+  const std::vector<WriteRecord>& writes() const { return writes_; }
+
+ private:
+  std::vector<WriteRecord> writes_;
+  bool collect_cells_ = false;
+  uint64_t items_begun_ = 0;
+  bool current_dirty_ = false;
+  uint64_t changed_before_current_ = 0;
+  uint64_t word_writes_ = 0;
+  uint64_t suppressed_words_ = 0;
+  uint64_t read_words_ = 0;
+};
 
 /// \brief Mechanisation of the paper's state-change complexity measure
 /// (§1.5 "Model").
@@ -76,6 +184,38 @@ class StateAccountant {
   void ReleaseCells(uint64_t words) {
     allocated_words_ = (words > allocated_words_) ? 0 : allocated_words_ - words;
   }
+
+  /// \brief Flushes one batch of updates mirrored into `scratch`, leaving
+  /// the accountant (and any attached sink) bitwise as if the scalar
+  /// BeginUpdate/Record* sequence had run update by update: the pre-batch
+  /// pending update is settled by the batch's first BeginItem, every
+  /// finished in-batch update with a write counts toward the paper metric,
+  /// the last update's dirtiness stays pending, and write records replay
+  /// to the sink in program order under their scalar epoch numbers. Reads
+  /// are forwarded as one aggregate `OnBulkReads` (sinks price reads
+  /// additively, so aggregation is exact).
+  void ApplyBatch(const BatchUpdateScratch& scratch) {
+    const uint64_t n = scratch.items_begun();
+    if (n == 0) return;
+    if (dirty_ && epoch_ > 0) ++updates_with_change_;
+    updates_with_change_ += scratch.changed_before_last();
+    dirty_ = scratch.last_changed();
+    const uint64_t base_epoch = epoch_;
+    epoch_ += n;
+    word_writes_ += scratch.word_writes();
+    suppressed_writes_ += scratch.suppressed_words();
+    word_reads_ += scratch.read_words();
+    if (sink_ != nullptr) {
+      for (const BatchUpdateScratch::WriteRecord& record : scratch.writes()) {
+        sink_->OnWrite(base_epoch + record.update_index + 1, record.cell);
+      }
+      if (scratch.read_words() > 0) sink_->OnBulkReads(scratch.read_words());
+    }
+  }
+
+  /// \brief True when batch kernels must record per-word cell addresses
+  /// into their scratch (a sink is attached and will replay them).
+  bool needs_cell_addresses() const { return sink_ != nullptr; }
 
   /// \brief Attaches (or detaches, with nullptr) a write sink: every
   /// subsequent state-write event streams through it — a recording

@@ -129,6 +129,18 @@ class TrackedArray {
   /// \brief Base cell address of element 0.
   uint64_t base_cell() const { return base_; }
 
+  /// \brief Raw mutable storage for batch kernels. A caller mutating
+  /// through this pointer takes over the tracking contract: every real
+  /// value change must be mirrored into a `BatchUpdateScratch` (cell
+  /// `base_cell() + i`), equal-value stores as suppressed writes, and the
+  /// scratch flushed via `StateAccountant::ApplyBatch` — otherwise the
+  /// paper metric silently drifts from the true state trajectory.
+  T* BatchData() { return values_.data(); }
+
+  /// \brief Raw read-only storage (no read accounting; pair with
+  /// `BatchUpdateScratch::Read`).
+  const T* BatchData() const { return values_.data(); }
+
  private:
   StateAccountant* accountant_;
   uint64_t base_;
