@@ -19,15 +19,24 @@
 // its records — the wear its replay reports is a severe underestimate.
 // The peak-RSS column shows the live path's footprint stays flat.
 //
-// Checkpoint mode (`bench_nvm_wear --checkpoint [items] [every]`, defaults
-// 410000 and 20000) prices durability: each sketch runs once with full
-// snapshots and once with delta checkpoints at the same frequency, and the
-// `[checkpoint]` CSV rows show delta wear tracking *state change* instead
-// of state size — nearly free for the write-frugal Morris-mode stable
-// sketch, and (the paper's point, seen from the durability side) no help
-// at all for the always-write baselines. Each delta run then ends with a
-// simulated crash: the replica is rebuilt from its last delta checkpoint
-// plus the trace tail, and the `[recover:*]` rows price the rebuild.
+// Checkpoint mode (`bench_nvm_wear --checkpoint [items] [every] [cache]`,
+// defaults 410000 and 20000) prices durability: each sketch runs once with
+// full snapshots and once with delta checkpoints at the same frequency, and
+// the `[checkpoint]` CSV rows show delta wear tracking *state change*
+// instead of state size — nearly free for the write-frugal Morris-mode
+// stable sketch, and (the paper's point, seen from the durability side) no
+// help at all for the always-write baselines. Each delta run then ends with
+// a simulated crash: the replica is rebuilt from its last delta checkpoint
+// plus the trace tail, and the `[recover:*]` rows price the rebuild. With
+// the trailing `cache` argument every run repeats with a DRAM write-back
+// cache on the checkpoint device, next to its uncached control row.
+//
+// Cache mode (`bench_nvm_wear --cache [items]`, default 200000) answers
+// the hardware counter-argument to the paper's thesis: could a small DRAM
+// write-back buffer absorb the always-write baselines' traffic
+// architecturally? The sweep prices every sketch behind caches of growing
+// size (0 = the uncached control, bitwise-identical to the default path)
+// across Zipf skews and reports the absorbed-write fraction.
 
 #include <algorithm>
 #include <cinttypes>
@@ -239,13 +248,26 @@ std::vector<SketchFactory> CheckpointRoster() {
   };
 }
 
+// A 4 KiB-of-words direct-mapped-device cache: 16 sets x 4 ways x 8-word
+// lines = 512 words. Small against the sketch tables, so only genuinely
+// reusable write regions are absorbed.
+CacheSpec CheckpointCache() {
+  CacheSpec cache;
+  cache.sets = 16;
+  cache.ways = 4;
+  cache.line_words = 8;
+  return cache;
+}
+
 std::unique_ptr<ShardedEngine> MakeCheckpointEngine(
-    const SketchFactory& factory, const CheckpointPolicy& policy) {
+    const SketchFactory& factory, const CheckpointPolicy& policy,
+    const CacheSpec& ckpt_cache) {
   ShardedEngineOptions options;
   options.shards = 1;
   options.batch_items = 4096;
   options.checkpoint_policy = policy;
   options.checkpoint_nvm = SpecFor(NvmSpec::Leveling::kDirect);
+  options.checkpoint_nvm.cache = ckpt_cache;
   auto engine = std::make_unique<ShardedEngine>(options);
   const Status status = engine->AddSketch(factory);
   if (!status.ok()) {
@@ -265,7 +287,7 @@ void DieUnlessClean(const ItemSource& trace) {
   }
 }
 
-int RunCheckpoint(uint64_t items, uint64_t every) {
+int RunCheckpoint(uint64_t items, uint64_t every, bool with_cache) {
   bench::Banner(
       "E10 bench_nvm_wear --checkpoint",
       "durability wear: delta checkpoints vs full snapshots + recovery cost",
@@ -307,28 +329,46 @@ int RunCheckpoint(uint64_t items, uint64_t every) {
       const CheckpointPolicy policy = CheckpointPolicy::EveryItems(
           every, use_delta ? CheckpointPolicy::Snapshot::kDelta
                            : CheckpointPolicy::Snapshot::kFull);
-      std::unique_ptr<ShardedEngine> engine =
-          MakeCheckpointEngine(factory, policy);
-      FileSource trace(trace_path);
-      DieUnlessClean(trace);
-      const ShardedRunReport report = engine->Run(trace);
-      DieUnlessClean(trace);
-      const ShardedSketchReport* row = report.Find(factory.name());
-      std::printf("%-18s %-6s %6" PRIu64 " %6" PRIu64 " %6" PRIu64
-                  " %14" PRIu64 " %14" PRIu64 " %10.4g\n",
-                  factory.name().c_str(), policy.snapshot_name(),
-                  row->checkpoints_taken, row->checkpoint.full_checkpoints,
-                  row->checkpoint.delta_checkpoints,
-                  row->checkpoint.word_writes, row->checkpoint.nvm.max_cell_wear,
-                  row->checkpoint.nvm.projected_stream_replays_to_failure);
-      bench::CsvBlock(report.ToCsv(std::string("ckpt=") +
-                                   policy.snapshot_name() + "/every=" +
-                                   std::to_string(every)));
-      if (use_delta) {
-        delta_writes = row->checkpoint.word_writes;
-        delta_engine = std::move(engine);  // keep for recovery below
-      } else {
-        full_writes = row->checkpoint.word_writes;
+      // The uncached control always runs (and always prints first) so a
+      // cached wear figure is never reported without its baseline.
+      const int variants = with_cache ? 2 : 1;
+      for (int cached = 0; cached < variants; ++cached) {
+        const CacheSpec ckpt_cache =
+            cached != 0 ? CheckpointCache() : CacheSpec{};
+        std::unique_ptr<ShardedEngine> engine =
+            MakeCheckpointEngine(factory, policy, ckpt_cache);
+        FileSource trace(trace_path);
+        DieUnlessClean(trace);
+        const ShardedRunReport report = engine->Run(trace);
+        DieUnlessClean(trace);
+        const ShardedSketchReport* row = report.Find(factory.name());
+        std::printf("%-18s %-6s %6" PRIu64 " %6" PRIu64 " %6" PRIu64
+                    " %14" PRIu64 " %14" PRIu64 " %10.4g",
+                    factory.name().c_str(), policy.snapshot_name(),
+                    row->checkpoints_taken, row->checkpoint.full_checkpoints,
+                    row->checkpoint.delta_checkpoints,
+                    row->checkpoint.word_writes,
+                    row->checkpoint.nvm.max_cell_wear,
+                    row->checkpoint.nvm.projected_stream_replays_to_failure);
+        std::string label = std::string("ckpt=") + policy.snapshot_name() +
+                            "/every=" + std::to_string(every);
+        if (cached != 0) {
+          const CacheStats& c = row->checkpoint.nvm.cache;
+          std::printf("  [cache=%" PRIu64 "w absorbed=%" PRIu64
+                      " writebacks=%" PRIu64 "]",
+                      ckpt_cache.capacity_words(), c.absorbed_writes,
+                      c.writebacks);
+          label += "/cache=" + std::to_string(ckpt_cache.capacity_words());
+        }
+        std::printf("\n");
+        bench::CsvBlock(report.ToCsv(label));
+        if (cached + 1 < variants) continue;  // recover from the last run
+        if (use_delta) {
+          delta_writes = row->checkpoint.word_writes;
+          delta_engine = std::move(engine);  // keep for recovery below
+        } else {
+          full_writes = row->checkpoint.word_writes;
+        }
       }
     }
     std::printf("%-18s delta/full checkpoint write ratio: %.3f\n",
@@ -400,6 +440,121 @@ int RunCheckpoint(uint64_t items, uint64_t every) {
   return 0;
 }
 
+// Cache-sweep mode: the architectural counter-argument priced end to end.
+
+// 4-way, 8-word-line geometry sized to `cache_words` total words
+// (0 = no cache tier — the control, bitwise-identical to today's path).
+NvmSpec CacheSweepSpec(uint64_t cache_words) {
+  NvmSpec spec = SpecFor(NvmSpec::Leveling::kDirect);
+  if (cache_words > 0) {
+    spec.cache.ways = 4;
+    spec.cache.line_words = 8;
+    spec.cache.sets = std::max<uint64_t>(
+        1, cache_words / (static_cast<uint64_t>(spec.cache.ways) *
+                          spec.cache.line_words));
+  }
+  return spec;
+}
+
+std::vector<SketchFactory> CacheSweepRoster() {
+  return {
+      // k sized so the counter summaries' write regions fit a few-KiB
+      // cache while the hash sketches' tables (4x2048 words) do not —
+      // the regime where the architectural-absorption question is live.
+      SketchFactory::Of<MisraGries>("misra_gries", size_t{256}),
+      SketchFactory::Of<SpaceSaving>("space_saving", size_t{1024}),
+      SketchFactory::Of<CountMin>("count_min", size_t{4}, size_t{2048},
+                                  uint64_t{2}, false),
+      SketchFactory::Of<CountSketch>("count_sketch", size_t{4}, size_t{2048},
+                                     uint64_t{3}),
+      SketchFactory::Of<StableSketch>("stable_morris", 0.5, size_t{32},
+                                      uint64_t{25},
+                                      StableSketch::CounterMode::kMorris,
+                                      0.2),
+  };
+}
+
+// The cache-sweep CSV block's own schema (11 fields after the `CSV,`
+// prefix — scripts/bench_to_json.py keys on the field count).
+constexpr const char* kCacheSweepSchema =
+    "sketch,skew,cache_words,total_writes,nvm_writes,cache_hits,"
+    "absorbed_writes,absorbed_frac,dirty_evictions,max_cell_wear,reuse_p50";
+
+int RunCacheSweep(uint64_t items) {
+  bench::Banner(
+      "E10 bench_nvm_wear --cache",
+      "absorbed-write fraction behind a DRAM write-back cache tier",
+      "a small write-back buffer absorbs MisraGries' two-cell write region "
+      "entirely, but CountMin's hash-scattered writes thrash it — "
+      "algorithmic write-frugality survives the cache tier");
+
+  const uint64_t flows = 100000;
+  const double skews[] = {0.8, 1.1, 1.4};
+  const uint64_t cache_words[] = {0, 64, 512, 4096, 32768};
+
+  std::printf("stream: %" PRIu64 " items over %" PRIu64
+              " flows per (sketch, skew) point; direct-mapped device; "
+              "cache: 4-way, 8-word lines, LRU\n\n",
+              items, flows);
+  std::printf("%-14s %5s %11s %12s %11s %10s %9s %9s %9s\n", "sketch",
+              "skew", "cache", "writes", "nvm_writes", "absorbed",
+              "abs_frac", "max_wear", "reuse_p50");
+  bench::CsvHeader(kCacheSweepSchema);
+
+  for (const SketchFactory& factory : CacheSweepRoster()) {
+    for (double skew : skews) {
+      for (uint64_t words : cache_words) {
+        std::unique_ptr<Sketch> alg = factory.Make();
+        LiveNvmSink sink(CacheSweepSpec(words));
+        alg->mutable_accountant()->set_write_sink(&sink);
+        alg->Drain(ZipfSource(flows, skew, items, /*seed=*/55));
+        sink.Flush();
+        const NvmReplayReport r = sink.Report();
+        alg->mutable_accountant()->set_write_sink(nullptr);
+
+        const CacheStats& c = r.cache;
+        const uint64_t total =
+            r.cache_enabled ? c.total_writes : r.writes_replayed;
+        const double absorbed_frac =
+            total == 0 ? 0.0
+                       : static_cast<double>(c.absorbed_writes) /
+                             static_cast<double>(total);
+        char cache_label[32];
+        if (words == 0) {
+          std::snprintf(cache_label, sizeof(cache_label), "uncached");
+        } else {
+          std::snprintf(cache_label, sizeof(cache_label), "%" PRIu64 "w",
+                        words);
+        }
+        std::printf("%-14s %5.1f %11s %12" PRIu64 " %11" PRIu64 " %10" PRIu64
+                    " %9.4f %9" PRIu64 " %9" PRIu64 "\n",
+                    factory.name().c_str(), skew, cache_label, total,
+                    r.writes_replayed, c.absorbed_writes, absorbed_frac,
+                    r.max_cell_wear, c.ReuseP50());
+        char csv[256];
+        std::snprintf(csv, sizeof(csv),
+                      "%s,%.1f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      ",%" PRIu64 ",%.6f,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      "\n",
+                      factory.name().c_str(), skew, words, total,
+                      r.writes_replayed, c.hits, c.absorbed_writes,
+                      absorbed_frac, c.dirty_evictions, r.max_cell_wear,
+                      c.ReuseP50());
+        bench::CsvBlock(csv);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "reading: the uncached rows are the control (identical to the default\n"
+      "mode's direct path). MisraGries/SpaceSaving absorb most writes at\n"
+      "even the smallest cache; CountMin/CountSketch need the cache to\n"
+      "cover their whole table before absorption rises — a DRAM buffer\n"
+      "does not substitute for algorithmic write-frugality.\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -416,6 +571,7 @@ int main(int argc, char** argv) {
     // leaves a non-empty tail to replay.
     uint64_t items = 410000;
     uint64_t every = 20000;
+    bool with_cache = false;
     if (argc > 2) {
       const long long parsed = std::atoll(argv[2]);
       if (parsed > 0) items = static_cast<uint64_t>(parsed);
@@ -424,7 +580,16 @@ int main(int argc, char** argv) {
       const long long parsed = std::atoll(argv[3]);
       if (parsed > 0) every = static_cast<uint64_t>(parsed);
     }
-    return RunCheckpoint(items, every);
+    if (argc > 4 && std::strcmp(argv[4], "cache") == 0) with_cache = true;
+    return RunCheckpoint(items, every, with_cache);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--cache") == 0) {
+    uint64_t items = 200000;
+    if (argc > 2) {
+      const long long parsed = std::atoll(argv[2]);
+      if (parsed > 0) items = static_cast<uint64_t>(parsed);
+    }
+    return RunCacheSweep(items);
   }
   return RunDefault();
 }

@@ -75,6 +75,23 @@ if [ "$source_gate_failed" -ne 0 ]; then
   exit 1
 fi
 
+# Cache-baseline gate: any bench or example that builds a *cached* NvmSpec
+# (assigning `.cache.sets` / `.cache =`) must also run and print the
+# uncached control in the same file — a cache-tier wear number without its
+# uncached baseline next to it is unreviewable. Grep-level: the file must
+# mention "uncached" somewhere (a label, a control row, a comment naming
+# the control run).
+cache_gate_failed=0
+while IFS=: read -r file line _; do
+  if ! grep -qi 'uncached' "$file"; then
+    echo "check.sh: $file:$line configures a cached NvmSpec but the file never runs/prints an uncached control — emit the baseline alongside" >&2
+    cache_gate_failed=1
+  fi
+done < <(grep -rnE '\.cache(\.sets[[:space:]]*=|[[:space:]]*=)' bench examples || true)
+if [ "$cache_gate_failed" -ne 0 ]; then
+  exit 1
+fi
+
 # Docs gate 1: every src/ subsystem directory must appear in the README
 # and docs/ARCHITECTURE.md subsystem tables — a new subsystem lands with
 # its documentation or not at all.

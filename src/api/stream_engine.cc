@@ -68,6 +68,21 @@ std::string RunReport::ToString() const {
           s.nvm.energy_nj, s.nvm.projected_stream_replays_to_failure,
           static_cast<unsigned long long>(s.nvm.dropped_writes));
       out += line;
+      if (s.nvm.cache_enabled) {
+        const CacheStats& c = s.nvm.cache;
+        std::snprintf(
+            line, sizeof(line),
+            "  %-24s   cache: writes=%-10llu hits=%-10llu "
+            "absorbed=%-10llu evict_dirty=%-8llu writebacks=%-10llu "
+            "reuse_p50<=%llu\n",
+            "", static_cast<unsigned long long>(c.total_writes),
+            static_cast<unsigned long long>(c.hits),
+            static_cast<unsigned long long>(c.absorbed_writes),
+            static_cast<unsigned long long>(c.dirty_evictions),
+            static_cast<unsigned long long>(c.writebacks),
+            static_cast<unsigned long long>(c.ReuseP50()));
+        out += line;
+      }
     }
   }
   return out;
@@ -77,7 +92,8 @@ std::string RunReport::CsvHeader() {
   return "label,sketch,updates,state_changes,word_writes,suppressed_writes,"
          "word_reads,peak_words,wall_seconds,nvm_writes,nvm_max_wear,"
          "nvm_energy_nj,nvm_replays_to_eol,nvm_dropped,ckpt_full,ckpt_delta,"
-         "ckpt_published";
+         "ckpt_published,cache_hits,absorbed_writes,dirty_evictions,"
+         "writebacks,cache_reuse_p50";
 }
 
 namespace {
@@ -100,10 +116,11 @@ std::string SketchReportCsvRow(const std::string& label,
                                const SketchRunReport& row) {
   const std::string safe_label = CsvSanitize(label);
   const std::string safe_sketch = CsvSanitize(sketch);
-  char line[512];
+  const bool cached = row.has_nvm && row.nvm.cache_enabled;
+  char line[640];
   std::snprintf(line, sizeof(line),
                 "%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,%llu,%llu,%.6g,"
-                "%.6g,%llu,%llu,%llu,%llu",
+                "%.6g,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
                 safe_label.c_str(), safe_sketch.c_str(),
                 static_cast<unsigned long long>(row.updates),
                 static_cast<unsigned long long>(row.state_changes),
@@ -123,7 +140,17 @@ std::string SketchReportCsvRow(const std::string& label,
                     row.has_nvm ? row.nvm.dropped_writes : 0),
                 static_cast<unsigned long long>(row.full_checkpoints),
                 static_cast<unsigned long long>(row.delta_checkpoints),
-                static_cast<unsigned long long>(row.snapshots_published));
+                static_cast<unsigned long long>(row.snapshots_published),
+                static_cast<unsigned long long>(cached ? row.nvm.cache.hits
+                                                       : 0),
+                static_cast<unsigned long long>(
+                    cached ? row.nvm.cache.absorbed_writes : 0),
+                static_cast<unsigned long long>(
+                    cached ? row.nvm.cache.dirty_evictions : 0),
+                static_cast<unsigned long long>(
+                    cached ? row.nvm.cache.writebacks : 0),
+                static_cast<unsigned long long>(
+                    cached ? row.nvm.cache.ReuseP50() : 0));
   return line;
 }
 

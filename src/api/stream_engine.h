@@ -72,9 +72,12 @@ struct RunReport {
   /// `label,sketch,updates,state_changes,word_writes,suppressed_writes,
   /// word_reads,peak_words,wall_seconds,nvm_writes,nvm_max_wear,
   /// nvm_energy_nj,nvm_replays_to_eol,nvm_dropped,ckpt_full,ckpt_delta,
-  /// ckpt_published`
+  /// ckpt_published,cache_hits,absorbed_writes,dirty_evictions,writebacks,
+  /// cache_reuse_p50`
   /// (the nvm columns are 0 for rows without an attached device; the ckpt
-  /// columns are 0 outside `[checkpoint]` rows).
+  /// columns are 0 outside `[checkpoint]` rows; the cache columns are 0
+  /// without a DRAM cache tier on the device, and `nvm_writes` counts
+  /// post-cache device writes when one is attached).
   static std::string CsvHeader();
 
   /// \brief One CSV row per sketch under `CsvHeader()` columns, each
@@ -144,6 +147,10 @@ class StreamEngine {
   /// `RunReport` rows for this sketch carry the device's cumulative
   /// wear/energy/lifetime. Replaces any sink previously attached to the
   /// sketch's accountant. Fails on unknown names and invalid specs.
+  /// A spec with `cache.sets > 0` puts a DRAM write-back cache tier in
+  /// front of the device: the run report then also carries cache
+  /// hit/absorption/write-back counters, and the engine's end-of-run
+  /// `Flush()` prices the residual dirty words before reporting.
   Status AttachNvm(const std::string& name, const NvmSpec& spec);
 
   /// \brief The live sink attached to `name` (for direct device queries),

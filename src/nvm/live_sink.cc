@@ -30,12 +30,16 @@ LiveNvmSink::LiveNvmSink(const NvmSpec& spec)
     : spec_(spec),
       policy_(spec.MakePolicy()),
       device_(std::make_unique<NvmDevice>(spec.config)),
-      path_(policy_.get(), device_.get()) {}
+      cache_(spec.cache.enabled() ? std::make_unique<CacheTier>(spec.cache)
+                                  : nullptr),
+      path_(policy_.get(), device_.get(), cache_.get()) {}
 
 void LiveNvmSink::Reset() {
   policy_ = spec_.MakePolicy();
   device_ = std::make_unique<NvmDevice>(spec_.config);
-  path_ = NvmCostPath(policy_.get(), device_.get());
+  cache_ = spec_.cache.enabled() ? std::make_unique<CacheTier>(spec_.cache)
+                                 : nullptr;
+  path_ = NvmCostPath(policy_.get(), device_.get(), cache_.get());
 }
 
 }  // namespace fewstate

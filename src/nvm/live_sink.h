@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/status.h"
+#include "nvm/cache_tier.h"
 #include "nvm/nvm_adapter.h"
 #include "nvm/nvm_device.h"
 #include "nvm/wear_leveling.h"
@@ -27,6 +28,11 @@ struct NvmSpec {
   Leveling leveling = Leveling::kDirect;
   uint64_t rotate_period = 64;  ///< kRotating: writes per rotation step
   uint64_t hash_seed = 1;       ///< kHashed: scatter hash seed
+  /// Optional DRAM write-back cache in front of the device (disabled by
+  /// default — `cache.sets == 0` keeps the path bitwise-identical to the
+  /// uncached one). The cache holds logical cells; wear leveling remaps
+  /// at write-back time.
+  CacheSpec cache;
 
   /// \brief Mints the configured wear-leveling policy (sized to the
   /// device).
@@ -35,8 +41,12 @@ struct NvmSpec {
   /// \brief Policy label for reports ("direct" / "rotate" / "hashed").
   const char* leveling_name() const;
 
-  /// \brief Validates the device parameters.
-  Status Validate() const { return config.Validate(); }
+  /// \brief Validates the device parameters and cache geometry.
+  Status Validate() const {
+    Status device_status = config.Validate();
+    if (!device_status.ok()) return device_status;
+    return cache.Validate();
+  }
 };
 
 /// \brief The live end of the `WriteSink` pipeline: pushes each state
@@ -67,20 +77,37 @@ class LiveNvmSink : public WriteSink {
   /// \brief Prices `count` aggregate reads (energy/latency; no wear).
   void OnBulkReads(uint64_t count) override { path_.BulkReads(count); }
 
-  /// \brief A live device is always consistent; nothing to flush.
-  void Flush() override {}
+  /// \brief Writes back every dirty cached word onto the device. An
+  /// uncached device is always consistent, so this is a no-op without a
+  /// cache tier. Idempotent; the engines call it at end of run.
+  void Flush() override { path_.Flush(); }
 
-  /// \brief Renews the attachment: a fresh device and policy, as if just
-  /// constructed (mirrors `WriteLog::Clear` on accountant reset).
+  /// \brief Renews the attachment: a fresh device, policy and cache tier,
+  /// as if just constructed (mirrors `WriteLog::Clear` on accountant
+  /// reset).
   void Reset() override;
 
   /// \brief Costing outcome so far — same shape and, on bounded streams,
   /// same bits as offline replay. `dropped_writes` is always 0: the live
-  /// path never drops.
+  /// path never drops. Flushes the cache tier first, so a mid-run report
+  /// on a cached path reflects flushed state (pending write-backs are
+  /// priced, never silently excluded).
+  NvmReplayReport Report() {
+    path_.Flush();
+    return path_.Report();
+  }
+
+  /// \brief Const overload for already-flushed sinks (e.g. via
+  /// `StreamEngine::NvmSink`, which the engine flushes at end of run).
+  /// Aborts if the cache tier still holds pending write-backs — a const
+  /// sink cannot flush, and an unflushed wear figure is a wrong answer.
   NvmReplayReport Report() const { return path_.Report(); }
 
   /// \brief The simulated device behind this sink (direct wear queries).
   const NvmDevice& device() const { return *device_; }
+
+  /// \brief The cache tier, or nullptr when the spec disables it.
+  const CacheTier* cache() const { return cache_.get(); }
 
   /// \brief The spec this sink was built from.
   const NvmSpec& spec() const { return spec_; }
@@ -89,6 +116,7 @@ class LiveNvmSink : public WriteSink {
   NvmSpec spec_;
   std::unique_ptr<WearLevelingPolicy> policy_;
   std::unique_ptr<NvmDevice> device_;
+  std::unique_ptr<CacheTier> cache_;  // null when spec_.cache is disabled
   NvmCostPath path_;
 };
 

@@ -1,11 +1,26 @@
 #include "nvm/nvm_adapter.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <memory>
 
 namespace fewstate {
 
 NvmReplayReport NvmCostPath::Report(uint64_t dropped_writes) const {
+  if (!flushed()) {
+    // Wear, imbalance and projected lifetime would silently exclude the
+    // pending write-backs — an unflushed cached report is a wrong answer,
+    // not an approximation. Callers flush first (LiveNvmSink::Report does
+    // so automatically).
+    std::fprintf(stderr,
+                 "NvmCostPath::Report: cache tier holds %llu pending "
+                 "write-backs; Flush() before reporting\n",
+                 static_cast<unsigned long long>(
+                     cache_->stats().writebacks_pending));
+    std::abort();
+  }
   NvmReplayReport report;
   report.writes_replayed = writes_;
   report.reads_replayed = reads_;
@@ -14,6 +29,10 @@ NvmReplayReport NvmCostPath::Report(uint64_t dropped_writes) const {
   report.energy_nj = device_->energy_nj();
   report.latency_ns = device_->latency_ns();
   report.dropped_writes = dropped_writes;
+  if (cache_ != nullptr) {
+    report.cache_enabled = true;
+    report.cache = cache_->stats();
+  }
   if (device_->max_cell_wear() == 0) {
     report.projected_stream_replays_to_failure =
         std::numeric_limits<double>::infinity();
@@ -28,13 +47,23 @@ NvmReplayReport NvmCostPath::Report(uint64_t dropped_writes) const {
 NvmReplayReport ReplayOnNvm(const WriteLog& log,
                             const StateAccountant& accountant,
                             WearLevelingPolicy* policy, NvmDevice* device) {
-  NvmCostPath path(policy, device);
+  return ReplayOnNvm(log, accountant, policy, device, CacheSpec{});
+}
+
+NvmReplayReport ReplayOnNvm(const WriteLog& log,
+                            const StateAccountant& accountant,
+                            WearLevelingPolicy* policy, NvmDevice* device,
+                            const CacheSpec& cache_spec) {
+  std::unique_ptr<CacheTier> cache;
+  if (cache_spec.enabled()) cache = std::make_unique<CacheTier>(cache_spec);
+  NvmCostPath path(policy, device, cache.get());
   for (const WriteRecord& record : log.records()) {
     path.Write(record.cell);
   }
   // Reads are aggregate (the accountant does not log addresses); they cost
   // energy/latency but never wear cells.
   path.BulkReads(accountant.word_reads());
+  path.Flush();
   return path.Report(log.dropped());
 }
 
@@ -55,6 +84,23 @@ NvmReplayReport AggregateNvmReports(
     out.projected_stream_replays_to_failure =
         std::min(out.projected_stream_replays_to_failure,
                  part.projected_stream_replays_to_failure);
+    if (part.cache_enabled) {
+      out.cache_enabled = true;
+      out.cache.total_writes += part.cache.total_writes;
+      out.cache.hits += part.cache.hits;
+      out.cache.misses += part.cache.misses;
+      out.cache.absorbed_writes += part.cache.absorbed_writes;
+      out.cache.dirty_evictions += part.cache.dirty_evictions;
+      out.cache.clean_evictions += part.cache.clean_evictions;
+      out.cache.writebacks += part.cache.writebacks;
+      out.cache.writebacks_pending += part.cache.writebacks_pending;
+      out.cache.flushes += part.cache.flushes;
+      out.cache.reuse_cold += part.cache.reuse_cold;
+      for (int i = 0; i < CacheStats::kReuseBuckets; ++i) {
+        out.cache.reuse_hist[static_cast<size_t>(i)] +=
+            part.cache.reuse_hist[static_cast<size_t>(i)];
+      }
+    }
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "nvm/cache_tier.h"
 #include "nvm/nvm_device.h"
 #include "nvm/wear_leveling.h"
 #include "state/state_accountant.h"
@@ -15,6 +16,10 @@ namespace fewstate {
 /// produced identically by offline replay (`ReplayOnNvm`) and by the live
 /// streaming path (`LiveNvmSink::Report`); on streams within log capacity
 /// the two are bitwise-identical.
+///
+/// With a cache tier attached, `writes_replayed` counts writes that
+/// *reached the device* (dirty-eviction and flush write-backs); the
+/// logical write count the algorithm generated is `cache.total_writes`.
 struct NvmReplayReport {
   uint64_t writes_replayed = 0;
   uint64_t reads_replayed = 0;
@@ -31,6 +36,14 @@ struct NvmReplayReport {
   /// never drops. Always 0 for live-path reports.
   uint64_t dropped_writes = 0;
 
+  /// True iff a DRAM cache tier sat in front of the device; `cache` is
+  /// all-zero otherwise.
+  bool cache_enabled = false;
+  /// Cache-tier traffic accounting (hits, absorbed writes, evictions,
+  /// write-backs, reuse-distance histogram). Valid only after flush:
+  /// `Report()` asserts the tier holds no pending dirty words.
+  CacheStats cache;
+
   /// \brief True iff the costing under-reports because trace records were
   /// dropped.
   bool truncated() const { return dropped_writes > 0; }
@@ -45,31 +58,64 @@ struct NvmReplayReport {
 /// Both pricing modes drive this same path, so they cannot diverge:
 /// `ReplayOnNvm` feeds it a recorded `WriteLog` after the fact;
 /// `LiveNvmSink` feeds it each write as the algorithm performs it.
-/// Policy and device are borrowed and must outlive the path.
+/// Policy, device and (optional) cache tier are borrowed and must outlive
+/// the path. With a cache, writes land in the tier and only dirty
+/// evictions / `Flush()` write-backs reach the policy+device; wear
+/// leveling therefore remaps at write-back time, downstream of the cache.
 class NvmCostPath {
  public:
-  NvmCostPath(WearLevelingPolicy* policy, NvmDevice* device)
-      : policy_(policy), device_(device) {}
+  NvmCostPath(WearLevelingPolicy* policy, NvmDevice* device,
+              CacheTier* cache = nullptr)
+      : policy_(policy), device_(device), cache_(cache) {}
 
-  /// \brief Prices one word write of logical `cell`.
+  /// \brief Prices one word write of logical `cell`. `writes_` counts
+  /// writes that reach the device (all of them when uncached).
   void Write(uint64_t cell) {
-    device_->Write(policy_->MapWrite(cell));
-    ++writes_;
+    if (cache_ == nullptr) {
+      device_->Write(policy_->MapWrite(cell));
+      ++writes_;
+      return;
+    }
+    cache_->Write(cell, [this](uint64_t victim) {
+      device_->Write(policy_->MapWrite(victim));
+      ++writes_;
+    });
   }
 
   /// \brief Prices `count` aggregate reads (energy/latency; no wear).
+  /// Reads are address-free aggregates, so the cache tier cannot filter
+  /// them — they pass through to the device unchanged.
   void BulkReads(uint64_t count) {
     device_->ReadBulk(count);
     reads_ += count;
   }
 
+  /// \brief Writes back every dirty cached word to the device (no-op when
+  /// uncached). Must run before `Report()` on a cached path.
+  void Flush() {
+    if (cache_ == nullptr) return;
+    cache_->Flush([this](uint64_t victim) {
+      device_->Write(policy_->MapWrite(victim));
+      ++writes_;
+    });
+  }
+
+  /// \brief True iff every write has been priced onto the device (always
+  /// true uncached; cached: no pending dirty words).
+  bool flushed() const { return cache_ == nullptr || cache_->flushed(); }
+
   /// \brief Costing outcome so far. `dropped_writes` flags trace
-  /// truncation for the replay path (the live path passes 0).
+  /// truncation for the replay path (the live path passes 0). On a cached
+  /// path the tier must be flushed — wear, lifetime and imbalance would
+  /// otherwise silently exclude pending write-backs — so an unflushed
+  /// `Report()` aborts (see `LiveNvmSink::Report` for the auto-flushing
+  /// wrapper).
   NvmReplayReport Report(uint64_t dropped_writes = 0) const;
 
  private:
   WearLevelingPolicy* policy_;
   NvmDevice* device_;
+  CacheTier* cache_;
   uint64_t writes_ = 0;
   uint64_t reads_ = 0;
 };
@@ -83,10 +129,21 @@ NvmReplayReport ReplayOnNvm(const WriteLog& log,
                             const StateAccountant& accountant,
                             WearLevelingPolicy* policy, NvmDevice* device);
 
+/// \brief Cached offline pricing: as above, but replays through a DRAM
+/// cache tier built from `cache_spec` (flushed before reporting). A
+/// disabled spec (`sets == 0`) is bitwise-identical to the uncached
+/// overload.
+NvmReplayReport ReplayOnNvm(const WriteLog& log,
+                            const StateAccountant& accountant,
+                            WearLevelingPolicy* policy, NvmDevice* device,
+                            const CacheSpec& cache_spec);
+
 /// \brief Folds per-device reports into one deployment-level view (e.g.
 /// one device per shard replica, plus checkpoint devices): traffic,
 /// energy, latency and drops add up; `max_cell_wear` and `wear_imbalance`
 /// take the worst device; lifetime takes the first device to fail.
+/// Cache-tier counters and reuse-distance buckets sum element-wise
+/// (`cache_enabled` if any part had a cache).
 /// An empty input yields a default (all-zero) report.
 NvmReplayReport AggregateNvmReports(const std::vector<NvmReplayReport>& parts);
 

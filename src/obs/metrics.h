@@ -123,6 +123,14 @@ class Histogram {
     sum_.fetch_add(value, std::memory_order_relaxed);
   }
 
+  /// \brief Records `count` observations of `value` in two fetch_adds —
+  /// for replaying pre-bucketed distributions (e.g. a cache tier's
+  /// reuse-distance buckets) without O(count) atomics.
+  void ObserveMany(uint64_t value, uint64_t count) {
+    buckets_[BucketOf(value)].fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(value * count, std::memory_order_relaxed);
+  }
+
   /// \brief The bucket index `value` lands in.
   static size_t BucketOf(uint64_t value) {
     if (value == 0) return 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "nvm/cache_tier.h"
 #include "nvm/nvm_device.h"
 
 namespace fewstate {
@@ -50,6 +51,39 @@ void PublishWearHistogram(MetricsRegistry* registry, const MetricLabels& labels,
   Histogram* hist = registry->GetHistogram("fewstate_nvm_cell_wear", labels);
   for (uint64_t wear : device.cell_wear()) {
     if (wear > 0) hist->Observe(wear);
+  }
+}
+
+void PublishCacheStats(MetricsRegistry* registry, const MetricLabels& labels,
+                       const CacheStats& stats) {
+  registry->GetGauge("fewstate_cache_total_writes", labels)
+      ->Set(static_cast<double>(stats.total_writes));
+  registry->GetGauge("fewstate_cache_hits", labels)
+      ->Set(static_cast<double>(stats.hits));
+  registry->GetGauge("fewstate_cache_absorbed_writes", labels)
+      ->Set(static_cast<double>(stats.absorbed_writes));
+  registry->GetGauge("fewstate_cache_dirty_evictions", labels)
+      ->Set(static_cast<double>(stats.dirty_evictions));
+  registry->GetGauge("fewstate_cache_writebacks", labels)
+      ->Set(static_cast<double>(stats.writebacks));
+  registry->GetGauge("fewstate_cache_reuse_cold", labels)
+      ->Set(static_cast<double>(stats.reuse_cold));
+}
+
+void PublishCacheReuseHistogram(MetricsRegistry* registry,
+                                const MetricLabels& labels,
+                                const CacheStats& stats) {
+  Histogram* hist =
+      registry->GetHistogram("fewstate_cache_reuse_distance", labels);
+  for (int i = 0; i < CacheStats::kReuseBuckets; ++i) {
+    // One observation at the bucket's representative value per recorded
+    // distance: CacheStats buckets share Histogram::BucketOf's log2 rule,
+    // so every observation lands back in bucket i (0 for i == 0, else
+    // 2^(i-1)).
+    const uint64_t count = stats.reuse_hist[static_cast<size_t>(i)];
+    if (count == 0) continue;
+    const uint64_t representative = i == 0 ? 0 : uint64_t{1} << (i - 1);
+    hist->ObserveMany(representative, count);
   }
 }
 

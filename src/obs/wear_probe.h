@@ -8,6 +8,7 @@
 namespace fewstate {
 
 class NvmDevice;
+struct CacheStats;
 
 /// \brief Summary of a device's per-cell write distribution at one
 /// instant, computed from `NvmDevice::cell_wear()`.
@@ -40,6 +41,24 @@ void PublishWearStats(MetricsRegistry* registry, const MetricLabels& labels,
 /// the same device would double-count.
 void PublishWearHistogram(MetricsRegistry* registry, const MetricLabels& labels,
                           const NvmDevice& device);
+
+/// \brief Publishes a DRAM cache tier's traffic counters as gauges under
+/// `labels`: `fewstate_cache_total_writes`, `fewstate_cache_hits`,
+/// `fewstate_cache_absorbed_writes`, `fewstate_cache_dirty_evictions`,
+/// `fewstate_cache_writebacks`, `fewstate_cache_reuse_cold`. Meant for
+/// flushed stats (end of run): `writebacks_pending` is deliberately not
+/// exported — it is 0 on a flushed tier.
+void PublishCacheStats(MetricsRegistry* registry, const MetricLabels& labels,
+                       const CacheStats& stats);
+
+/// \brief Replays the cache tier's log2 reuse-distance buckets into the
+/// `fewstate_cache_reuse_distance` histogram under `labels`. The tier's
+/// buckets use the same log2 rule as `Histogram::BucketOf`, so the replay
+/// is lossless (each recorded distance lands in its original bucket).
+/// Call once per tier, at end of run — the histogram is cumulative.
+void PublishCacheReuseHistogram(MetricsRegistry* registry,
+                                const MetricLabels& labels,
+                                const CacheStats& stats);
 
 }  // namespace fewstate
 

@@ -998,18 +998,27 @@ ShardedRunReport ShardedEngine::Run(ItemSource& source) {
       for (size_t s = 0; s < num_shards; ++s) {
         const std::string shard_label = std::to_string(s);
         if (nvm_sinks_[s][i] != nullptr) {
-          PublishWearStats(metrics,
-                           {{"shard", shard_label},
-                            {"sketch", name},
-                            {"device", "live"}},
+          const MetricLabels labels = {
+              {"shard", shard_label}, {"sketch", name}, {"device", "live"}};
+          PublishWearStats(metrics, labels,
                            ComputeWearStats(nvm_sinks_[s][i]->device()));
+          // Cache-tier traffic for cached replicas: the run-report path
+          // above flushed every sink, so these are exact flushed counts.
+          if (const CacheTier* cache = nvm_sinks_[s][i]->cache()) {
+            PublishCacheStats(metrics, labels, cache->stats());
+            PublishCacheReuseHistogram(metrics, labels, cache->stats());
+          }
         }
         if (ckpt_sinks_[s][i] != nullptr) {
-          PublishWearStats(metrics,
-                           {{"shard", shard_label},
-                            {"sketch", name},
-                            {"device", "checkpoint"}},
+          const MetricLabels labels = {{"shard", shard_label},
+                                       {"sketch", name},
+                                       {"device", "checkpoint"}};
+          PublishWearStats(metrics, labels,
                            ComputeWearStats(ckpt_sinks_[s][i]->device()));
+          if (const CacheTier* cache = ckpt_sinks_[s][i]->cache()) {
+            PublishCacheStats(metrics, labels, cache->stats());
+            PublishCacheReuseHistogram(metrics, labels, cache->stats());
+          }
         }
       }
     }

@@ -1,0 +1,275 @@
+// Property tests for the cached NVM cost path: a DRAM write-back tier
+// may only ever *help*.
+//
+// Strict LRU with a fixed line size obeys stack inclusion — a
+// fully-associative cache of W ways holds a superset of the lines a
+// smaller one holds — so growing the cache can never add device writes.
+// Every batch-capable sketch is driven through `LiveNvmSink` with caches
+// {1 line, mid-size, effectively infinite} plus the uncached control,
+// and the reports must be monotone: device writes, write-backs and
+// `max_cell_wear` non-increasing in cache size, per-cell wear never
+// above the uncached run (direct leveling keeps addresses comparable).
+// Alongside: exact reconciliation of the cache counters with the
+// `StateAccountant` totals and with the `fewstate_cache_*` gauges a
+// sharded run publishes.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/sketch.h"
+#include "baselines/count_min.h"
+#include "baselines/count_sketch.h"
+#include "baselines/misra_gries.h"
+#include "baselines/space_saving.h"
+#include "baselines/stable_sketch.h"
+#include "nvm/cache_tier.h"
+#include "nvm/live_sink.h"
+#include "nvm/nvm_adapter.h"
+#include "obs/metrics.h"
+#include "recover/checkpoint_policy.h"
+#include "shard/sharded_engine.h"
+#include "shard/sketch_factory.h"
+#include "stream/generators.h"
+
+namespace fewstate {
+namespace {
+
+struct Maker {
+  const char* name;
+  std::function<std::unique_ptr<Sketch>()> make;
+};
+
+// The batch-capable roster (mirrors tests/batch_update_test.cc).
+std::vector<Maker> SketchRoster() {
+  return {
+      {"misra_gries", [] { return std::make_unique<MisraGries>(64); }},
+      {"count_min",
+       [] { return std::make_unique<CountMin>(4, 256, 7, false); }},
+      {"count_min_conservative",
+       [] { return std::make_unique<CountMin>(4, 256, 7, true); }},
+      {"count_sketch",
+       [] { return std::make_unique<CountSketch>(4, 256, 9); }},
+      {"space_saving", [] { return std::make_unique<SpaceSaving>(64); }},
+      {"stable_exact",
+       [] {
+         return std::make_unique<StableSketch>(
+             0.5, 16, 11, StableSketch::CounterMode::kExact);
+       }},
+      {"stable_morris",
+       [] {
+         return std::make_unique<StableSketch>(
+             0.5, 16, 11, StableSketch::CounterMode::kMorris, 0.2);
+       }},
+  };
+}
+
+// Small stream: enough traffic to churn every eviction path, small
+// enough that the full roster x cache sweep stays fast under TSan.
+Stream TestStream() { return ZipfStream(2000, 1.1, 8000, /*seed=*/77); }
+
+constexpr uint64_t kCells = 1 << 12;
+
+// Stack inclusion needs one LRU stack per set, so the sweep fixes
+// sets=1 (fully associative) and line_words, and grows only the ways.
+CacheSpec SweepCache(uint32_t ways) {
+  CacheSpec cache;
+  cache.sets = 1;
+  cache.ways = ways;
+  cache.line_words = 8;
+  return cache;
+}
+
+struct LiveRun {
+  NvmReplayReport report;
+  std::vector<uint64_t> wear;          // per-cell, direct leveling
+  uint64_t accountant_word_writes = 0; // words written while attached
+};
+
+LiveRun RunLive(const Maker& maker, const CacheSpec& cache) {
+  NvmSpec spec;
+  spec.config.num_cells = kCells;
+  spec.config.endurance = 1 << 20;
+  spec.leveling = NvmSpec::Leveling::kDirect;
+  spec.cache = cache;
+  LiveNvmSink sink(spec);
+
+  const std::unique_ptr<Sketch> sketch = maker.make();
+  const uint64_t base_words = sketch->accountant().word_writes();
+  sketch->mutable_accountant()->set_write_sink(&sink);
+  for (const Item item : TestStream()) sketch->Update(item);
+  sketch->mutable_accountant()->set_write_sink(nullptr);
+  sink.Flush();
+
+  LiveRun run;
+  run.report = sink.Report();
+  run.wear = sink.device().cell_wear();
+  run.accountant_word_writes = sketch->accountant().word_writes() - base_words;
+  return run;
+}
+
+TEST(NvmCacheProperty, BiggerCacheNeverCostsMore) {
+  for (const Maker& maker : SketchRoster()) {
+    const LiveRun uncached = RunLive(maker, CacheSpec{});
+    ASSERT_GT(uncached.report.writes_replayed, 0u) << maker.name;
+    EXPECT_FALSE(uncached.report.cache_enabled) << maker.name;
+
+    // 1 line, a mid-size cache, and one that holds the whole device
+    // (kCells cells / 8-word lines = 512 lines, so 4096 ways never
+    // evicts anything).
+    const std::vector<uint32_t> ways_sweep = {1, 64, 4096};
+    std::vector<LiveRun> runs;
+    for (uint32_t ways : ways_sweep) {
+      runs.push_back(RunLive(maker, SweepCache(ways)));
+    }
+
+    const LiveRun* prev = &uncached;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const LiveRun& run = runs[i];
+      const std::string context =
+          std::string(maker.name) + " ways=" + std::to_string(ways_sweep[i]);
+      ASSERT_TRUE(run.report.cache_enabled) << context;
+      // Monotone in cache size: device writes and peak wear never grow.
+      EXPECT_LE(run.report.writes_replayed, prev->report.writes_replayed)
+          << context;
+      EXPECT_LE(run.report.max_cell_wear, prev->report.max_cell_wear)
+          << context;
+      if (i > 0) {
+        EXPECT_LE(run.report.cache.writebacks, runs[i - 1].report.cache.writebacks)
+            << context;
+      }
+      // The per-line dirty mask writes back only dirtied words, so under
+      // direct leveling every single cell wears at most as much as in
+      // the uncached run.
+      ASSERT_EQ(run.wear.size(), uncached.wear.size()) << context;
+      for (size_t c = 0; c < run.wear.size(); ++c) {
+        ASSERT_LE(run.wear[c], uncached.wear[c])
+            << context << " cell " << c;
+      }
+      // Reads are aggregate pass-through: both paths price the same.
+      EXPECT_EQ(run.report.reads_replayed, uncached.report.reads_replayed)
+          << context;
+      prev = &run;
+    }
+
+    // The effectively-infinite cache coalesces everything: exactly one
+    // device write per distinct dirtied cell, all at flush time.
+    const LiveRun& infinite = runs.back();
+    const uint64_t distinct_cells = static_cast<uint64_t>(
+        std::count_if(uncached.wear.begin(), uncached.wear.end(),
+                      [](uint64_t w) { return w > 0; }));
+    EXPECT_EQ(infinite.report.writes_replayed, distinct_cells) << maker.name;
+    EXPECT_EQ(infinite.report.cache.dirty_evictions, 0u) << maker.name;
+    EXPECT_EQ(infinite.report.max_cell_wear, 1u) << maker.name;
+  }
+}
+
+TEST(NvmCacheProperty, CountersReconcileWithAccountantExactly) {
+  CacheSpec cache;
+  cache.sets = 8;
+  cache.ways = 4;
+  cache.line_words = 8;
+  for (const Maker& maker : SketchRoster()) {
+    const LiveRun run = RunLive(maker, cache);
+    const CacheStats& s = run.report.cache;
+    ASSERT_TRUE(run.report.cache_enabled) << maker.name;
+    // Every word the accountant charged went through the tier, exactly
+    // once each.
+    EXPECT_EQ(s.total_writes, run.accountant_word_writes) << maker.name;
+    EXPECT_EQ(s.hits + s.misses, s.total_writes) << maker.name;
+    // Post-flush conservation: every logical write was either absorbed
+    // in DRAM or paid for on the device, and `writes_replayed` counts
+    // exactly the device writes (the write-backs).
+    EXPECT_EQ(s.writebacks_pending, 0u) << maker.name;
+    EXPECT_EQ(s.absorbed_writes + s.writebacks, s.total_writes) << maker.name;
+    EXPECT_EQ(run.report.writes_replayed, s.writebacks) << maker.name;
+    // The device saw exactly the write-backs, too.
+    uint64_t device_writes = 0;
+    for (uint64_t w : run.wear) device_writes += w;
+    EXPECT_EQ(device_writes, s.writebacks) << maker.name;
+    // Every line touch landed in the reuse histogram or the cold bucket.
+    uint64_t reuse_total = s.reuse_cold;
+    for (uint64_t b : s.reuse_hist) reuse_total += b;
+    EXPECT_EQ(reuse_total, s.total_writes) << maker.name;
+  }
+}
+
+TEST(NvmCacheProperty, ShardedRunPublishesMatchingCacheGauges) {
+  CacheSpec cache;
+  cache.sets = 8;
+  cache.ways = 4;
+  cache.line_words = 8;
+  NvmSpec spec;
+  spec.config.num_cells = kCells;
+  spec.config.endurance = 1 << 20;
+  spec.cache = cache;
+
+  MetricsRegistry registry;
+  ShardedEngineOptions options;
+  options.shards = 1;
+  options.batch_items = 512;
+  options.checkpoint_policy = CheckpointPolicy::EveryItems(
+      2000, CheckpointPolicy::Snapshot::kFull);
+  options.checkpoint_nvm = spec;
+  options.metrics = &registry;
+  ShardedEngine engine(options);
+  ASSERT_TRUE(engine
+                  .AddSketch(SketchFactory::Of<CountMin>(
+                                 "count_min", size_t{4}, size_t{128},
+                                 uint64_t{21}, false),
+                             spec)
+                  .ok());
+
+  const Stream stream = TestStream();
+  VectorSource source(stream);
+  const ShardedRunReport report = engine.Run(source);
+  const ShardedSketchReport* cm = report.Find("count_min");
+  ASSERT_NE(cm, nullptr);
+  ASSERT_TRUE(cm->per_shard[0].has_nvm);
+  ASSERT_TRUE(cm->per_shard[0].nvm.cache_enabled);
+  ASSERT_TRUE(cm->checkpoint.nvm.cache_enabled);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  const auto check_device = [&](const char* device, const CacheStats& s) {
+    const MetricLabels labels = {
+        {"device", device}, {"shard", "0"}, {"sketch", "count_min"}};
+    const auto gauge = [&](const char* name) -> uint64_t {
+      const GaugeSample* sample = snap.FindGauge(name, labels);
+      EXPECT_NE(sample, nullptr) << device << " " << name;
+      return sample == nullptr ? 0 : static_cast<uint64_t>(sample->value);
+    };
+    EXPECT_EQ(gauge("fewstate_cache_total_writes"), s.total_writes) << device;
+    EXPECT_EQ(gauge("fewstate_cache_hits"), s.hits) << device;
+    EXPECT_EQ(gauge("fewstate_cache_absorbed_writes"), s.absorbed_writes)
+        << device;
+    EXPECT_EQ(gauge("fewstate_cache_dirty_evictions"), s.dirty_evictions)
+        << device;
+    EXPECT_EQ(gauge("fewstate_cache_writebacks"), s.writebacks) << device;
+    EXPECT_EQ(gauge("fewstate_cache_reuse_cold"), s.reuse_cold) << device;
+    // The reuse-distance histogram replays one observation per write.
+    const HistogramSample* hist =
+        snap.FindHistogram("fewstate_cache_reuse_distance", labels);
+    ASSERT_NE(hist, nullptr) << device;
+    uint64_t bucketed = 0;
+    for (uint64_t b : s.reuse_hist) bucketed += b;
+    EXPECT_EQ(hist->count, bucketed) << device;
+    // End-of-run state is flushed: nothing pending, books balanced.
+    EXPECT_EQ(s.writebacks_pending, 0u) << device;
+    EXPECT_EQ(s.absorbed_writes + s.writebacks, s.total_writes) << device;
+  };
+  check_device("live", cm->per_shard[0].nvm.cache);
+  check_device("checkpoint", cm->checkpoint.nvm.cache);
+
+  // The cache absorbed real traffic in this configuration — the gauges
+  // are reconciling live numbers, not zeros.
+  EXPECT_GT(cm->per_shard[0].nvm.cache.total_writes, 0u);
+  EXPECT_GT(cm->per_shard[0].nvm.cache.absorbed_writes, 0u);
+}
+
+}  // namespace
+}  // namespace fewstate

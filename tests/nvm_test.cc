@@ -4,6 +4,8 @@
 #include <memory>
 #include <set>
 
+#include "nvm/cache_tier.h"
+#include "nvm/live_sink.h"
 #include "nvm/nvm_adapter.h"
 #include "nvm/nvm_device.h"
 #include "nvm/wear_leveling.h"
@@ -163,6 +165,75 @@ TEST(NvmAdapter, WearLevelingExtendsLifetimeOfHotWorkloads) {
   const double hashed = run(MakeHashedMapping(config.num_cells, 9));
   EXPECT_GT(rotate, 10 * direct);
   EXPECT_GT(hashed, 10 * direct);
+}
+
+// --- Reporting discipline on the cached path (regression) ---
+//
+// A mid-run report on a cached path must never silently exclude pending
+// write-backs: the non-const `LiveNvmSink::Report()` auto-flushes first,
+// and the two unflushed views (`NvmCostPath::Report`, const sink
+// `Report`) abort loudly instead of under-reporting wear.
+
+NvmSpec TinyCachedSpec() {
+  NvmSpec spec;
+  spec.config = SmallConfig();
+  spec.cache.sets = 1;
+  spec.cache.ways = 2;
+  spec.cache.line_words = 1;
+  return spec;
+}
+
+TEST(NvmAdapterCached, MidRunReportAutoFlushesAndStaysCumulative) {
+  LiveNvmSink sink(TinyCachedSpec());
+  sink.OnWrite(1, 0);
+  sink.OnWrite(1, 1);
+  sink.OnWrite(2, 0);  // absorbed: cell 0 is already dirty
+
+  const NvmReplayReport mid = sink.Report();  // non-const: auto-flushes
+  EXPECT_TRUE(mid.cache_enabled);
+  EXPECT_EQ(mid.cache.writebacks_pending, 0u);
+  EXPECT_EQ(mid.cache.total_writes, 3u);
+  EXPECT_EQ(mid.cache.absorbed_writes, 1u);
+  EXPECT_EQ(mid.writes_replayed, 2u);  // device writes == write-backs
+
+  // Idempotent: reporting again without new writes changes nothing.
+  const NvmReplayReport again = sink.Report();
+  EXPECT_EQ(again.writes_replayed, mid.writes_replayed);
+  EXPECT_EQ(again.cache.writebacks, mid.cache.writebacks);
+
+  // The run continues after a mid-run report; the next report is
+  // cumulative, not restarted.
+  sink.OnWrite(3, 0);
+  const NvmReplayReport fin = sink.Report();
+  EXPECT_EQ(fin.cache.total_writes, 4u);
+  EXPECT_EQ(fin.writes_replayed, 3u);
+  EXPECT_EQ(fin.max_cell_wear, 2u);  // cell 0 written back twice
+}
+
+TEST(NvmAdapterCachedDeathTest, UnflushedCostPathReportAborts) {
+  NvmConfig config = SmallConfig();
+  NvmDevice device(config);
+  auto policy = MakeDirectMapping(config.num_cells);
+  CacheSpec cache_spec;
+  cache_spec.sets = 1;
+  cache_spec.ways = 1;
+  cache_spec.line_words = 1;
+  CacheTier cache(cache_spec);
+  NvmCostPath path(policy.get(), &device, &cache);
+  path.Write(0);
+  ASSERT_FALSE(path.flushed());
+  EXPECT_DEATH(path.Report(), "pending");
+  path.Flush();
+  EXPECT_EQ(path.Report().writes_replayed, 1u);  // fine once flushed
+}
+
+TEST(NvmAdapterCachedDeathTest, UnflushedConstSinkReportAborts) {
+  LiveNvmSink sink(TinyCachedSpec());
+  sink.OnWrite(1, 0);
+  const LiveNvmSink& view = sink;
+  EXPECT_DEATH(view.Report(), "pending");
+  sink.Flush();
+  EXPECT_EQ(view.Report().writes_replayed, 1u);
 }
 
 }  // namespace
